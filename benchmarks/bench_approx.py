@@ -1,0 +1,95 @@
+"""Extension — approximate n-of-N skylines (paper §6 future work).
+
+Quantifies the trade-off :mod:`repro.core.approx` offers: grid
+quantisation with cell size ``epsilon`` shrinks the retained set
+``|R_N|`` (and with it, maintenance and query cost) while guaranteeing
+additive epsilon-coverage of the exact skyline.
+
+The table reports, per epsilon: retained-set size, per-element
+maintenance cost, average query time, result size — against the exact
+engine (``epsilon = 0`` row) on the hardest family (anti-correlated).
+
+Expected shape: monotone |R_N| and cost reduction as epsilon grows,
+with result sizes collapsing toward a constant as the grid coarsens.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    average_query_time,
+    feed_timed,
+    format_seconds,
+    render_table,
+    scaled,
+    stream_points,
+)
+from repro.core.approx import ApproxNofNSkyline
+from repro.core.nofn import NofNSkyline
+from repro.streams import random_n_values
+
+EPSILONS = (0.01, 0.05, 0.1, 0.25)
+DIM = 3
+
+
+def test_approx_tradeoff_table(report, benchmark):
+    """Exact vs approximate engines across epsilon."""
+    capacity = scaled(1500)
+    points = stream_points("anticorrelated", DIM, 2 * capacity, seed=107)
+    n_values = random_n_values(capacity, scaled(100, minimum=20), seed=109)
+    rows = []
+    measured = {}
+
+    def run_one(label, engine):
+        cost = feed_timed(engine, points, warmup=capacity)
+        query_avg = average_query_time(engine.query, n_values)
+        sizes = [len(engine.query(n)) for n in n_values[:20]]
+        measured[label] = (engine.rn_size, cost.avg_seconds)
+        rows.append(
+            [
+                label,
+                engine.rn_size,
+                format_seconds(cost.avg_seconds),
+                format_seconds(query_avg),
+                round(sum(sizes) / len(sizes), 1),
+            ]
+        )
+
+    def run_figure():
+        run_one("exact", NofNSkyline(DIM, capacity))
+        for epsilon in EPSILONS:
+            run_one(
+                f"eps={epsilon}",
+                ApproxNofNSkyline(DIM, capacity, epsilon=epsilon),
+            )
+
+    benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    report(
+        "approx_tradeoff",
+        render_table(
+            f"Approximate n-of-N (anti-correlated, d={DIM}, N={capacity})",
+            ["engine", "|R_N|", "maint avg", "query avg", "avg result"],
+            rows,
+        ),
+    )
+
+    # Shape: coarser grids retain no more than finer ones, and the
+    # coarsest grid must genuinely compress relative to exact.
+    sizes = [measured["exact"][0]] + [
+        measured[f"eps={e}"][0] for e in EPSILONS
+    ]
+    assert all(a >= b for a, b in zip(sizes, sizes[1:])), sizes
+    assert sizes[-1] < sizes[0]
+
+
+@pytest.mark.parametrize("epsilon", (0.01, 0.25))
+def test_approx_append_benchmark(benchmark, epsilon):
+    """Micro-benchmark: steady-state approximate appends."""
+    capacity = scaled(800)
+    rounds = 300
+    engine = ApproxNofNSkyline(DIM, capacity, epsilon=epsilon)
+    for point in stream_points("anticorrelated", DIM, capacity, seed=113):
+        engine.append(point)
+    points = iter(stream_points("anticorrelated", DIM, rounds + 10, seed=127))
+    benchmark.pedantic(lambda: engine.append(next(points)), rounds=rounds, iterations=1)

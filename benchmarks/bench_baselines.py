@@ -1,0 +1,89 @@
+"""Static skyline algorithms compared (extension bench).
+
+Not a paper figure: a reference comparison of the classic algorithms
+this library implements as substrates — KLP (the paper's benchmark),
+BNL, SFS and BBS — over the three distribution families.  It documents
+*why* the paper picked KLP as "the most efficient main-memory
+algorithm" and gives downstream users a basis for choosing a static
+algorithm when they do not need windows at all.
+
+Expected shape: all algorithms slow down from correlated to
+anti-correlated (skyline size drives everything); SFS's presort pays
+off on correlated data; BBS's R-tree build dominates its runtime at
+these scales but its *progressive* first result is nearly free.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel import numpy_skyline
+from repro.baselines import bbs_skyline, bnl_skyline, klp_skyline, sfs_skyline
+from repro.bench import (
+    DISTRIBUTIONS,
+    DIST_LABELS,
+    format_seconds,
+    render_table,
+    scaled,
+    stream_points,
+    time_batch,
+)
+
+ALGORITHMS = [
+    ("KLP", klp_skyline),
+    ("BNL", bnl_skyline),
+    ("SFS", sfs_skyline),
+    ("BBS", bbs_skyline),
+    ("NumPy", numpy_skyline),
+]
+DIMS = (2, 4)
+
+
+def test_baseline_comparison(report, benchmark):
+    """One-shot skyline over a full window, per algorithm and family."""
+    count = scaled(3000)
+    results = {}
+
+    def run_figure():
+        for dim in DIMS:
+            for dist in DISTRIBUTIONS:
+                points = stream_points(dist, dim, count, seed=101)
+                expected = None
+                for name, algorithm in ALGORITHMS:
+                    elapsed = time_batch(lambda: algorithm(points))
+                    result = algorithm(points)
+                    if expected is None:
+                        expected = result
+                    assert result == expected, f"{name} diverged"
+                    results[(dim, dist, name)] = (elapsed, len(result))
+
+    benchmark.pedantic(run_figure, rounds=1, iterations=1)
+
+    headers = ["config", "skyline"] + [name for name, _ in ALGORITHMS]
+    rows = []
+    for dim in DIMS:
+        for dist in DISTRIBUTIONS:
+            size = results[(dim, dist, "KLP")][1]
+            rows.append(
+                [f"d{dim}-{DIST_LABELS[dist]}", size]
+                + [
+                    format_seconds(results[(dim, dist, name)][0])
+                    for name, _ in ALGORITHMS
+                ]
+            )
+    report(
+        "baseline_comparison",
+        render_table(
+            f"Static skyline algorithms, n={count} points",
+            headers,
+            rows,
+        ),
+    )
+
+
+@pytest.mark.parametrize("name,algorithm", ALGORITHMS)
+def test_static_algorithm_benchmark(benchmark, name, algorithm):
+    """Micro-benchmark: each algorithm on one independent d=3 set."""
+    points = stream_points("independent", 3, scaled(1000), seed=103)
+    result = benchmark.pedantic(lambda: algorithm(points), rounds=3, iterations=1)
+    assert result

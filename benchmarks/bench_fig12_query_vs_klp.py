@@ -1,0 +1,132 @@
+"""Figure 12 — n-of-N query processing: nN vs KLP.
+
+Paper: 1000 random ``n`` values in ``[1000, 10^6]`` are turned into
+n-of-N queries against ``N = 10^6`` windows; nN answers each with a
+stabbing query while KLP recomputes the skyline of the most recent
+``n`` elements from scratch.  Result: KLP averages *seconds* per query
+versus microseconds-to-milliseconds for nN — "it is not efficient
+enough to support on-line computation" — across dimensions 2-5 and all
+three distributions.
+
+Reproduction: the same protocol at ``N = scaled(2000)`` with
+``scaled(200)`` random queries per configuration (KLP gets a smaller
+sample — its per-query cost is exactly what makes it unusable).
+Expected shape: nN faster than KLP by orders of magnitude everywhere;
+anti-correlated data is the most expensive for both; cost grows with
+dimensionality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import klp_skyline
+from repro.bench import (
+    DISTRIBUTIONS,
+    DIST_LABELS,
+    average_query_time,
+    format_seconds,
+    render_table,
+    scaled,
+    stream_points,
+)
+from repro.streams import random_n_values
+
+DIMS = (2, 3, 4, 5)
+
+
+def _config():
+    capacity = scaled(2000)
+    return {
+        "capacity": capacity,
+        "prefill": 2 * capacity,
+        "nn_queries": scaled(200, minimum=20),
+        "klp_queries": max(5, scaled(20, minimum=5)),
+        "min_n": max(2, capacity // 100),
+    }
+
+
+def _window_points(dist: str, dim: int, cfg: dict):
+    """The raw window contents behind a cached engine.
+
+    The n-of-N engine deliberately discards redundant elements, so the
+    KLP side replays the same deterministic stream (conftest engines
+    use seed 0 and a prefill of 2N) and takes the trailing N points.
+    """
+    stream = stream_points(dist, dim, cfg["prefill"], seed=0)
+    return stream[-cfg["capacity"]:]
+
+
+def test_fig12_nn_vs_klp(report, nofn_engine, benchmark):
+    """Regenerate Figure 12: average query time per (d, distribution)."""
+    cfg = _config()
+    headers = ["dim"] + [
+        f"{DIST_LABELS[dist]} {algo}"
+        for dist in DISTRIBUTIONS
+        for algo in ("nN", "KLP")
+    ]
+    rows = []
+    measured = {}
+
+    def run_figure():
+        for dim in DIMS:
+            row = [dim]
+            for dist in DISTRIBUTIONS:
+                engine = nofn_engine(
+                    dist, dim, cfg["capacity"], prefill=cfg["prefill"]
+                )
+                n_values = random_n_values(
+                    cfg["capacity"],
+                    cfg["nn_queries"],
+                    seed=dim * 7 + 1,
+                    minimum=cfg["min_n"],
+                )
+                nn_avg = average_query_time(engine.query, n_values)
+
+                # The paper applies KLP directly: "applying KLP to
+                # computing the skyline of the most recent n elements".
+                window = _window_points(dist, dim, cfg)
+                klp_ns = n_values[: cfg["klp_queries"]]
+                klp_avg = average_query_time(
+                    lambda n: klp_skyline(window[len(window) - n:]),
+                    klp_ns,
+                )
+                measured[(dim, dist)] = (nn_avg, klp_avg)
+                row.extend([format_seconds(nn_avg), format_seconds(klp_avg)])
+            rows.append(row)
+
+    benchmark.pedantic(run_figure, rounds=1, iterations=1)
+
+    report(
+        "fig12_query_vs_klp",
+        render_table(
+            f"Figure 12 — avg n-of-N query time, N={cfg['capacity']} "
+            f"({cfg['nn_queries']} nN / {cfg['klp_queries']} KLP queries)",
+            headers,
+            rows,
+        ),
+    )
+
+    # Shape assertion: nN beats KLP decisively in every configuration.
+    for (dim, dist), (nn_avg, klp_avg) in measured.items():
+        assert nn_avg * 10 < klp_avg, (
+            f"nN should be >=10x faster than KLP at d={dim}/{dist}: "
+            f"{nn_avg:.2e}s vs {klp_avg:.2e}s"
+        )
+
+
+def test_klp_baseline_benchmark(benchmark):
+    """Micro-benchmark: KLP on one full anti-correlated window (d=3)."""
+    capacity = scaled(1000)
+    points = stream_points("anticorrelated", 3, capacity, seed=5)
+    result = benchmark.pedantic(lambda: klp_skyline(points), rounds=3, iterations=1)
+    assert result
+
+
+@pytest.mark.parametrize("dim", DIMS)
+def test_nn_query_benchmark(benchmark, nofn_engine, dim):
+    """Micro-benchmark: one nN stabbing query at half the window."""
+    cfg = _config()
+    engine = nofn_engine("independent", dim, cfg["capacity"], prefill=cfg["prefill"])
+    result = benchmark(lambda: engine.query(cfg["capacity"] // 2))
+    assert isinstance(result, list)

@@ -1,0 +1,108 @@
+"""Figure 13 — nN query cost as a function of ``n``.
+
+Paper: with ``N = 10^6`` fixed and ``d in {2, 5}``, the 1000 random
+queries are split into 33 buckets of consecutive ``n`` values and each
+bucket's average time is plotted.  Finding: nN is *not very sensitive*
+to ``n`` — the cost is driven by ``s`` (the skyline size), which the
+distribution and dimensionality control, not by the window fraction.
+
+Reproduction: same protocol at ``N = scaled(2000)`` with 11 buckets.
+Expected shape: per-series variation across ``n`` stays well within
+the gulf separating distributions/dimensions; the anti-correlated d=5
+series sits far above the correlated d=2 one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    DISTRIBUTIONS,
+    DIST_LABELS,
+    bucketed_query_times,
+    format_seconds,
+    render_series,
+    scaled,
+)
+from repro.streams import random_n_values
+
+DIMS = (2, 5)
+BUCKETS = 11
+
+
+def _config():
+    capacity = scaled(2000)
+    return {
+        "capacity": capacity,
+        "prefill": 2 * capacity,
+        "queries": scaled(330, minimum=BUCKETS * 2),
+        "min_n": max(2, capacity // 100),
+    }
+
+
+def test_fig13_query_time_vs_n(report, nofn_engine, benchmark):
+    """Regenerate Figure 13: bucketed query time per (d, distribution)."""
+    cfg = _config()
+    series = []
+    spreads = {}
+    xs_holder = []
+
+    def run_figure():
+        xs = None
+        for dim in DIMS:
+            for dist in DISTRIBUTIONS:
+                engine = nofn_engine(
+                    dist, dim, cfg["capacity"], prefill=cfg["prefill"]
+                )
+                n_values = random_n_values(
+                    cfg["capacity"], cfg["queries"], seed=dim * 13 + 2,
+                    minimum=cfg["min_n"],
+                )
+                buckets = bucketed_query_times(engine.query, n_values, BUCKETS)
+                if xs is None:
+                    xs = [f"~{n}" for n, _ in buckets]
+                    xs_holder.extend(xs)
+                times = [t for _, t in buckets]
+                spreads[(dim, dist)] = (min(times), max(times))
+                series.append(
+                    (
+                        f"d{dim}-{DIST_LABELS[dist]}",
+                        [format_seconds(t) for t in times],
+                    )
+                )
+
+    benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    xs = xs_holder
+
+    report(
+        "fig13_vary_n",
+        render_series(
+            f"Figure 13 — avg nN query time vs n (N={cfg['capacity']}, "
+            f"{BUCKETS} buckets)",
+            "n (bucket median)",
+            xs,
+            series,
+        ),
+    )
+
+    # Shape assertion: dimensionality/distribution dominates n.  The d=5
+    # anti-correlated series must exceed the d=2 correlated one in every
+    # bucket comparison of their extremes.
+    lo_hard, _ = spreads[(5, "anticorrelated")]
+    _, hi_easy = spreads[(2, "correlated")]
+    assert lo_hard > hi_easy, (
+        "the hardest series should dominate the easiest: "
+        f"{lo_hard:.2e}s vs {hi_easy:.2e}s"
+    )
+
+
+@pytest.mark.parametrize("fraction", (0.1, 0.5, 1.0))
+def test_query_fraction_benchmark(benchmark, nofn_engine, fraction):
+    """Micro-benchmark: query cost at fixed window fractions (d=5 anti)."""
+    cfg = _config()
+    engine = nofn_engine(
+        "anticorrelated", 5, cfg["capacity"], prefill=cfg["prefill"]
+    )
+    n = max(1, int(cfg["capacity"] * fraction))
+    result = benchmark(lambda: engine.query(n))
+    assert isinstance(result, list)

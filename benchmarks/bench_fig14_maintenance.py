@@ -1,0 +1,124 @@
+"""Figure 14 — mnN maintenance cost per element versus ``N``.
+
+Paper: for ``d in {2, 5}`` and all three distributions, the average
+and maximum per-element cost of Algorithm 1 is recorded at ten window
+sizes ``N = i * 10^5``.  Findings: correlated cheapest / anti-
+correlated dearest (they bound ``|R_N|`` from below/above), costs grow
+roughly logarithmically with ``N``, and even the worst case sustains
+hundreds of elements per second.
+
+Reproduction: ten window sizes ``N = i * scaled(200)``; each run feeds
+a ``2N`` stream and measures the post-warm-up per-element cost
+(the first ``N`` arrivals fill the window and are excluded, as the
+paper excludes the pre-sliding phase).  Expected shape: the same
+distribution ordering at every ``N`` and sub-linear growth in ``N``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    DISTRIBUTIONS,
+    DIST_LABELS,
+    feed_timed,
+    format_seconds,
+    render_series,
+    scaled,
+    stream_points,
+)
+from repro.core.nofn import NofNSkyline
+
+DIMS = (2, 5)
+STEPS = 10
+
+
+def _n_values():
+    base = scaled(200)
+    return [i * base for i in range(1, STEPS + 1)]
+
+
+def _run_maintenance(dist: str, dim: int, capacity: int):
+    points = stream_points(dist, dim, 2 * capacity, seed=17)
+    engine = NofNSkyline(dim, capacity)
+    return feed_timed(engine, points, warmup=capacity)
+
+
+def test_fig14_maintenance_cost(report, benchmark):
+    """Regenerate Figure 14: avg & max per-element cost vs N."""
+    n_values = _n_values()
+    results = {}
+
+    def run_figure():
+        for dim in DIMS:
+            for dist in DISTRIBUTIONS:
+                for capacity in n_values:
+                    results[(dim, dist, capacity)] = _run_maintenance(
+                        dist, dim, capacity
+                    )
+
+    benchmark.pedantic(run_figure, rounds=1, iterations=1)
+
+    for dim in DIMS:
+        series = []
+        for dist in DISTRIBUTIONS:
+            series.append(
+                (
+                    f"{DIST_LABELS[dist]} avg",
+                    [
+                        format_seconds(results[(dim, dist, n)].avg_seconds)
+                        for n in n_values
+                    ],
+                )
+            )
+            series.append(
+                (
+                    f"{DIST_LABELS[dist]} max",
+                    [
+                        format_seconds(results[(dim, dist, n)].max_seconds)
+                        for n in n_values
+                    ],
+                )
+            )
+        report(
+            f"fig14_maintenance_d{dim}",
+            render_series(
+                f"Figure 14 ({'a' if dim == 2 else 'b'}) — mnN per-element "
+                f"cost, d={dim} (stream 2N, warm-up N excluded)",
+                "N",
+                n_values,
+                series,
+            ),
+        )
+
+    # Shape assertions: correlated <= anti-correlated on average cost at
+    # the largest N, for both dimensionalities.
+    top = n_values[-1]
+    for dim in DIMS:
+        corr = results[(dim, "correlated", top)].avg_seconds
+        anti = results[(dim, "anticorrelated", top)].avg_seconds
+        assert corr <= anti * 1.5, (
+            f"correlated maintenance should not exceed anti-correlated "
+            f"(d={dim}): {corr:.2e}s vs {anti:.2e}s"
+        )
+    # Growth in N is sub-linear (logarithmic in the paper): a 10x window
+    # must not cost 10x per element.
+    for dim in DIMS:
+        small = results[(dim, "independent", n_values[0])].avg_seconds
+        large = results[(dim, "independent", top)].avg_seconds
+        assert large < small * 10, (
+            f"maintenance should grow sub-linearly in N (d={dim}): "
+            f"{small:.2e}s -> {large:.2e}s"
+        )
+
+
+@pytest.mark.parametrize("dist", DISTRIBUTIONS)
+@pytest.mark.parametrize("dim", DIMS)
+def test_append_benchmark(benchmark, nofn_engine, dim, dist):
+    """Micro-benchmark: steady-state appends into a warm engine."""
+    capacity = scaled(1000)
+    rounds = 300
+    engine = nofn_engine(dist, dim, capacity, prefill=capacity, seed=29)
+    points = iter(stream_points(dist, dim, rounds + 10, seed=31))
+
+    benchmark.pedantic(lambda: engine.append(next(points)), rounds=rounds, iterations=1)

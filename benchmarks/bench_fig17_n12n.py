@@ -1,0 +1,167 @@
+"""Figure 17 — (n1,n2)-of-N processing: n12N queries and scalability.
+
+Paper, part (a): the Figure 12 protocol repeated with 1000 random
+``(n1, n2)`` pairs constrained to ``n2 - n1 >= 500``; n12N "follows a
+very similar pattern to nN; however it is slightly slower due to the
+fact that n12N has to stab the elements more than required".
+
+Paper, part (b): the Figure 15 mixed-load protocol (maintenance mn12N
+plus 2M ad-hoc n12N queries) over anti-correlated data for d = 2..5;
+throughput >1K/s at d = 2, 3 falling to ~70/s (d=4) and ~22/s (d=5).
+
+Reproduction: ``N = scaled(2000)``, ``scaled(200)`` query pairs with a
+proportionally scaled gap for (a); ``N = scaled(1000)`` mixed load over
+anti-correlated streams for (b).  Expected shapes: n12N within a small
+factor of nN (same pattern), and monotone throughput decay with
+dimensionality in (b).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench import (
+    DISTRIBUTIONS,
+    DIST_LABELS,
+    average_query_time,
+    feed_timed,
+    format_rate,
+    format_seconds,
+    render_series,
+    render_table,
+    scaled,
+    stream_points,
+)
+from repro.core.n1n2 import N1N2Skyline
+from repro.streams import random_n1n2_pairs, random_n_values
+
+DIMS = (2, 3, 4, 5)
+
+
+def _config():
+    capacity = scaled(2000)
+    return {
+        "capacity": capacity,
+        "prefill": 2 * capacity,
+        "queries": scaled(200, minimum=20),
+        # The paper's gap is 500 of N=10^6; keep the same fraction.
+        "gap": max(1, capacity // 2000),
+    }
+
+
+def test_fig17a_n12n_query_time(report, n1n2_engine, nofn_engine, benchmark):
+    """Regenerate Figure 17(a): average (n1,n2)-of-N query time."""
+    cfg = _config()
+    headers = ["dim"] + [
+        f"{DIST_LABELS[dist]} {algo}"
+        for dist in DISTRIBUTIONS
+        for algo in ("n12N", "nN")
+    ]
+    rows = []
+    measured = {}
+
+    def run_figure():
+        for dim in DIMS:
+            row = [dim]
+            for dist in DISTRIBUTIONS:
+                engine = n1n2_engine(
+                    dist, dim, cfg["capacity"], prefill=cfg["prefill"]
+                )
+                pairs = random_n1n2_pairs(
+                    cfg["capacity"], cfg["queries"], min_gap=cfg["gap"],
+                    seed=dim * 11 + 3,
+                )
+                n12n_avg = average_query_time(
+                    lambda pair: engine.query(*pair), pairs
+                )
+
+                # The nN column gives the "similar pattern" reference.
+                ref = nofn_engine(
+                    dist, dim, cfg["capacity"], prefill=cfg["prefill"]
+                )
+                n_values = random_n_values(
+                    cfg["capacity"], cfg["queries"], seed=dim * 11 + 3,
+                    minimum=max(2, cfg["capacity"] // 100),
+                )
+                nn_avg = average_query_time(ref.query, n_values)
+                measured[(dim, dist)] = (n12n_avg, nn_avg)
+                row.extend([format_seconds(n12n_avg), format_seconds(nn_avg)])
+            rows.append(row)
+
+    benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    report(
+        "fig17a_n12n_query",
+        render_table(
+            f"Figure 17(a) — avg (n1,n2)-of-N query time, "
+            f"N={cfg['capacity']}, gap>={cfg['gap']}",
+            headers,
+            rows,
+        ),
+    )
+
+    # Shape: n12N tracks nN within an order of magnitude everywhere
+    # (the paper reports "slightly slower").
+    for (dim, dist), (n12n_avg, nn_avg) in measured.items():
+        assert n12n_avg < nn_avg * 20 + 1e-4, (
+            f"n12N should track nN at d={dim}/{dist}: "
+            f"{n12n_avg:.2e}s vs {nn_avg:.2e}s"
+        )
+
+
+def test_fig17b_scalability(report, benchmark):
+    """Regenerate Figure 17(b): mixed mn12N + n12N load, anti-correlated."""
+    capacity = scaled(1000)
+    results = {}
+
+    def run_figure():
+        for dim in DIMS:
+            points = stream_points("anticorrelated", dim, 2 * capacity, seed=59)
+            engine = N1N2Skyline(dim, capacity)
+            rng = random.Random(dim * 31 + 7)
+            gap = max(1, capacity // 2000)
+
+            def run_query(_index: int) -> None:
+                n1 = rng.randint(1, capacity - gap)
+                n2 = rng.randint(n1 + gap, capacity)
+                engine.query(n1, n2)
+
+            results[dim] = feed_timed(
+                engine, points, warmup=capacity, per_element=run_query
+            )
+
+    benchmark.pedantic(run_figure, rounds=1, iterations=1)
+
+    report(
+        "fig17b_n12n_scalability",
+        render_series(
+            f"Figure 17(b) — mn12N + n12N per-element processing "
+            f"(anti-correlated, N={capacity}, 1 query/element)",
+            "dim",
+            list(DIMS),
+            [
+                (
+                    "delay",
+                    [format_seconds(results[d].avg_seconds) for d in DIMS],
+                ),
+                ("rate", [format_rate(results[d].throughput) for d in DIMS]),
+            ],
+        ),
+    )
+
+    # Shape: monotone-ish decay — d=5 markedly slower than d=2.
+    assert results[5].avg_seconds > 3 * results[2].avg_seconds, (
+        "d=5 should be markedly slower than d=2 on anti-correlated data"
+    )
+
+
+@pytest.mark.parametrize("dim", (2, 5))
+def test_n12n_query_benchmark(benchmark, n1n2_engine, dim):
+    """Micro-benchmark: one historic-slice query (independent data)."""
+    cfg = _config()
+    engine = n1n2_engine("independent", dim, cfg["capacity"], prefill=cfg["prefill"])
+    n1 = cfg["capacity"] // 4
+    n2 = 3 * cfg["capacity"] // 4
+    result = benchmark(lambda: engine.query(n1, n2))
+    assert isinstance(result, list)

@@ -1,0 +1,88 @@
+"""Extension — windowed k-skybands.
+
+Prices the band-depth knob: for ``k in {1, 2, 4, 8}`` on the three
+distribution families, report the retained-set size ``|R_N^k|``,
+per-element maintenance cost, and the band size for the full window.
+
+Expected shape: retained size and result size grow monotonically with
+``k`` (more elements survive the generalised Theorem 1 pruning);
+``k = 1`` matches the plain n-of-N engine's ``|R_N|``; cost scales
+with the retained size, so anti-correlated data is again the dearest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    DISTRIBUTIONS,
+    DIST_LABELS,
+    feed_timed,
+    format_seconds,
+    render_table,
+    scaled,
+    stream_points,
+)
+from repro.core.nofn import NofNSkyline
+from repro.core.skyband import KSkybandEngine
+
+KS = (1, 2, 4, 8)
+DIM = 3
+
+
+def test_kskyband_depth_table(report, benchmark):
+    """Retained size / cost / band size across k."""
+    capacity = scaled(1000)
+    rows = []
+    retained = {}
+
+    def run_figure():
+        for dist in DISTRIBUTIONS:
+            points = stream_points(dist, DIM, 2 * capacity, seed=131)
+            reference = NofNSkyline(DIM, capacity)
+            for point in points:
+                reference.append(point)
+            for k in KS:
+                engine = KSkybandEngine(DIM, capacity, k)
+                cost = feed_timed(engine, points, warmup=capacity)
+                retained[(dist, k)] = engine.retained_size
+                rows.append(
+                    [
+                        f"{DIST_LABELS[dist]} k={k}",
+                        engine.retained_size,
+                        len(engine.skyband()),
+                        format_seconds(cost.avg_seconds),
+                    ]
+                )
+            retained[(dist, "nofn")] = reference.rn_size
+
+    benchmark.pedantic(run_figure, rounds=1, iterations=1)
+    report(
+        "kskyband_depth",
+        render_table(
+            f"k-skyband depth sweep (d={DIM}, N={capacity}, stream 2N)",
+            ["config", "retained", "band size", "maint avg"],
+            rows,
+        ),
+    )
+
+    for dist in DISTRIBUTIONS:
+        sizes = [retained[(dist, k)] for k in KS]
+        assert all(a <= b for a, b in zip(sizes, sizes[1:])), (
+            f"retained size must grow with k for {dist}: {sizes}"
+        )
+        assert retained[(dist, 1)] == retained[(dist, "nofn")], (
+            "k=1 must retain exactly R_N"
+        )
+
+
+@pytest.mark.parametrize("k", (1, 4))
+def test_kskyband_append_benchmark(benchmark, k):
+    """Micro-benchmark: steady-state appends at two band depths."""
+    capacity = scaled(600)
+    rounds = 300
+    engine = KSkybandEngine(DIM, capacity, k)
+    for point in stream_points("anticorrelated", DIM, capacity, seed=137):
+        engine.append(point)
+    points = iter(stream_points("anticorrelated", DIM, rounds + 10, seed=139))
+    benchmark.pedantic(lambda: engine.append(next(points)), rounds=rounds, iterations=1)

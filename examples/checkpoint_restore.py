@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Checkpointing a window engine across process restarts.
+
+A stream processor cannot afford to rebuild a large window from a raw
+replay after a crash or deploy.  The persistence layer snapshots an
+engine's *logical* state — the retained elements plus their
+dominance-graph annotations — as a JSON-ready dict, and rebuilds a live
+engine from it that answers every query identically and keeps evolving
+in lockstep.
+
+This example simulates exactly that: feed half a stream, checkpoint to
+a JSON file, "restart" (restore a fresh engine from the file), feed the
+second half into both engines, and verify they agree on everything.
+
+Run: ``python examples/checkpoint_restore.py``
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro import NofNSkyline
+from repro.core.persistence import restore, snapshot
+from repro.streams import materialize
+
+
+def main() -> None:
+    window = 300
+    points = materialize("anticorrelated", 3, 1200, seed=99)
+
+    engine = NofNSkyline(dim=3, capacity=window)
+    for point in points[:600]:
+        engine.append(point)
+    print(f"Fed 600 elements; |R_N| = {engine.rn_size}, "
+          f"window skyline = {len(engine.skyline())} points")
+
+    # --- checkpoint -------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = Path(tmp) / "engine.json"
+        checkpoint.write_text(json.dumps(snapshot(engine)))
+        size_kb = checkpoint.stat().st_size / 1024
+        print(f"Checkpoint written: {size_kb:.1f} KiB "
+              f"(vs {window} raw window elements + graph state)")
+
+        # --- 'restart': a brand-new process would do exactly this ---
+        restored = restore(json.loads(checkpoint.read_text()))
+
+    print("Restored engine answers identically:",
+          [e.kappa for e in restored.query(100)] ==
+          [e.kappa for e in engine.query(100)])
+
+    # --- both engines keep evolving in lockstep ---------------------
+    for point in points[600:]:
+        engine.append(point)
+        restored.append(point)
+
+    for n in (10, 100, window):
+        original = [e.kappa for e in engine.query(n)]
+        clone = [e.kappa for e in restored.query(n)]
+        assert original == clone, f"divergence at n={n}"
+    print(f"After 600 more arrivals: all queries still identical "
+          f"(M={engine.seen_so_far}, |R_N|={engine.rn_size})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Resilient frontiers: windowed k-skybands and approximate skylines.
+
+Two extension engines built on the paper's machinery:
+
+* **k-skyband** (`KSkybandEngine`): "the frontier plus backups" — every
+  recent option dominated by fewer than k others.  A travel-deals site
+  does not want a single best fare per trade-off; if the top deal sells
+  out it needs the next-best candidates already ranked.
+* **approximate skyline** (`ApproxNofNSkyline`): when fares differ by
+  cents, exact Pareto-optimality is noise — grid quantisation collapses
+  near-ties, shrinking state while guaranteeing every recent fare is
+  within epsilon of some reported one.
+
+The stream: (price_usd, duration_hours) flight offers.
+
+Run: ``python examples/resilient_frontier.py``
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import ApproxNofNSkyline, KSkybandEngine, NofNSkyline
+
+
+def simulate_offers(count: int, seed: int = 77):
+    rng = random.Random(seed)
+    for _ in range(count):
+        duration = rng.uniform(2.0, 18.0)
+        # Shorter flights cost more, plus noise and occasional sales.
+        base = 900.0 - 38.0 * duration
+        price = max(49.0, rng.gauss(base, 60.0))
+        if rng.random() < 0.05:
+            price *= 0.7  # flash sale
+        yield (round(price, 2), round(duration, 1))
+
+
+def show(label, elements, limit=8):
+    print(f"{label} ({len(elements)} offers):")
+    for element in elements[:limit]:
+        price, hours = element.values
+        print(f"   offer #{element.kappa:>4}:  ${price:>7.2f}  {hours:>5.1f}h")
+    if len(elements) > limit:
+        print(f"   ... and {len(elements) - limit} more")
+    print()
+
+
+def main() -> None:
+    window = 400
+    exact = NofNSkyline(dim=2, capacity=window)
+    band = KSkybandEngine(dim=2, capacity=window, k=3)
+    # Mixed units: a $25 grid on price, a 30-minute grid on duration.
+    approx = ApproxNofNSkyline(dim=2, capacity=window, epsilon=(25.0, 0.5))
+
+    offers = list(simulate_offers(1500))
+    print(f"Streaming {len(offers)} flight offers (window N={window})...\n")
+    for offer in offers:
+        exact.append(offer)
+        band.append(offer)
+        approx.append(offer)
+
+    frontier = exact.skyline()
+    backups = band.skyband()
+    rough = approx.skyline()
+
+    show("Exact frontier", frontier)
+    show("3-skyband (frontier + two layers of backups)", backups)
+    show("Approximate frontier ($25 x 30min grid)", rough)
+
+    print("State retained:")
+    print(f"   exact skyline engine : {exact.rn_size:>4} elements")
+    print(f"   3-skyband engine     : {band.retained_size:>4} elements")
+    print(f"   eps-approx engine    : {approx.rn_size:>4} elements")
+
+    # The band contains the frontier, and deeper bands mean more choice.
+    frontier_ids = {e.kappa for e in frontier}
+    band_ids = {e.kappa for e in backups}
+    assert frontier_ids <= band_ids
+    assert len(backups) >= len(frontier)
+    # The approximate engine keeps no more state than the exact one.
+    assert approx.rn_size <= exact.rn_size
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so that editable installs work on
+minimal environments whose setuptools predates PEP 660 (no ``wheel``
+package available): ``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,11 @@
+"""Optional vectorised (NumPy) helpers.
+
+The core library is dependency-free; this subpackage hosts the
+vectorised implementations for users who batch-process large static
+point sets (e.g. seeding a window from history) and already have NumPy
+around.
+"""
+
+from repro.accel.numpy_skyline import numpy_skyline, pareto_mask
+
+__all__ = ["numpy_skyline", "pareto_mask"]

@@ -1,0 +1,189 @@
+"""A dynamic 2-d skyline structure, in the spirit of Kapoor [SIAM J. Comput. 2000].
+
+The paper's related work (section 2.1) describes Kapoor's structure:
+a red-black tree ordering the points by one dimension, with the skyline
+of each subtree *implicitly* maintained — ``O(log n)`` updates and
+output-sensitive skyline queries.  The paper notes its limitation for
+the streaming setting (it maintains one whole-set skyline, and supports
+deletion only in 2-d), which is exactly what motivates the n-of-N
+machinery.  This module provides the 2-d structure so that comparison
+can be made concrete:
+
+* points live in a red-black tree keyed by ``(x, y, key)``;
+* every node carries the minimum ``y`` of its subtree;
+* ``dominated(x, y)`` answers "does any stored point weakly dominate
+  (x, y)?" in ``O(log n)`` via a prefix-min descent;
+* ``skyline()`` walks the staircase in ``O(s log n)``, pruning any
+  subtree whose min-``y`` cannot beat the running bound.
+
+Insertions and deletions are plain tree updates — ``O(log n)``.
+
+Tie convention: among exact duplicates only the first in key order is
+reported (a duplicate cannot beat the running bound its twin set).
+Otherwise the output is the strict-Pareto skyline, matching the other
+baselines on distinct inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, List, Tuple
+
+from repro.exceptions import DuplicateKeyError, KeyNotFoundError
+from repro.structures.rbtree import NIL, RBNode, RedBlackTree
+
+_INF = float("inf")
+
+
+def _augment_min_y(node: RBNode) -> None:
+    best = node.key[1]
+    if node.left is not NIL and node.left.aggregate < best:
+        best = node.left.aggregate
+    if node.right is not NIL and node.right.aggregate < best:
+        best = node.right.aggregate
+    node.aggregate = best
+
+
+class Dynamic2DSkyline:
+    """Fully dynamic 2-d min-skyline: insert, delete, query.
+
+    Each point carries a caller-supplied hashable ``key`` (unique),
+    used for deletion — in a stream setting, the arrival position.
+    """
+
+    def __init__(self) -> None:
+        self._tree: RedBlackTree = RedBlackTree(augment=_augment_min_y)
+        self._where: dict = {}
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def insert(self, x: float, y: float, key: Hashable) -> None:
+        """Insert point ``(x, y)`` under ``key``.
+
+        Raises
+        ------
+        DuplicateKeyError
+            If ``key`` is already present.
+        """
+        if key in self._where:
+            raise DuplicateKeyError(f"key already present: {key!r}")
+        node = self._tree.insert((float(x), float(y), self._order_token(key)), key)
+        self._where[key] = node
+
+    def delete(self, key: Hashable) -> Tuple[float, float]:
+        """Remove the point stored under ``key``; return ``(x, y)``.
+
+        Raises
+        ------
+        KeyNotFoundError
+            If ``key`` is absent.
+        """
+        node = self._where.pop(key, None)
+        if node is None:
+            raise KeyNotFoundError(f"key not present: {key!r}")
+        x, y, _ = node.key
+        # delete_node may splice another node object into place; refresh
+        # the location map for whichever key ends up where.
+        self._tree.delete_node(node)
+        self._reindex()
+        return x, y
+
+    def _reindex(self) -> None:
+        # delete_node moves the successor *object* (keeping its key and
+        # value), so handles other than the removed one stay valid; the
+        # map only needs purging of the removed key, already done.
+        return
+
+    @staticmethod
+    def _order_token(key: Hashable):
+        # Keys participate in tuple comparison only to disambiguate
+        # exact duplicate coordinates; fall back to id() for unorderable
+        # keys (stable within a process).
+        try:
+            key < key  # noqa: B015 - probe orderability
+            return key
+        except TypeError:
+            return id(key)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._where
+
+    def dominated(self, x: float, y: float) -> bool:
+        """Whether some stored point weakly dominates ``(x, y)``,
+        i.e. has ``x' <= x`` and ``y' <= y`` — an ``O(log n)`` descent."""
+        node = self._tree.root
+        while node is not NIL:
+            nx, ny, _ = node.key
+            if nx <= x:
+                # This node and its whole left subtree satisfy x' <= x.
+                if ny <= y:
+                    return True
+                if node.left is not NIL and node.left.aggregate <= y:
+                    return True
+                node = node.right
+            else:
+                node = node.left
+        return False
+
+    def skyline(self) -> List[Tuple[float, float, Hashable]]:
+        """The staircase, as ``(x, y, key)`` ascending in ``x``.
+
+        Output-sensitive: subtrees whose min-``y`` does not improve on
+        the running bound are pruned, giving ``O(s log n)``.
+        """
+        out: List[Tuple[float, float, Hashable]] = []
+        self._walk(self._tree.root, _INF, out)
+        return out
+
+    def _walk(self, node: RBNode, bound: float, out: list) -> float:
+        # Iterative simulation of: walk left, visit, walk right — with
+        # subtree pruning on the min-y aggregate.
+        stack: List[Tuple[RBNode, bool]] = [(node, False)]
+        while stack:
+            current, visited = stack.pop()
+            if current is NIL or current.aggregate >= bound:
+                continue
+            if not visited:
+                stack.append((current, True))
+                stack.append((current.left, False))
+            else:
+                y = current.key[1]
+                if y < bound:
+                    out.append((current.key[0], y, current.value))
+                    bound = y
+                stack.append((current.right, False))
+        return bound
+
+    def points(self) -> Iterator[Tuple[float, float, Hashable]]:
+        """All stored points in ``(x, y)`` order."""
+        for (x, y, _), key in self._tree.items():
+            yield x, y, key
+
+    # ------------------------------------------------------------------
+    # Validation (used by the test suite)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert tree and min-y aggregate consistency."""
+        self._tree.check_invariants()
+        self._check_min_y(self._tree.root)
+        assert len(self._where) == len(self._tree)
+
+    def _check_min_y(self, node: RBNode) -> float:
+        if node is NIL:
+            return _INF
+        expected = min(
+            node.key[1],
+            self._check_min_y(node.left),
+            self._check_min_y(node.right),
+        )
+        assert node.aggregate == expected
+        return expected

@@ -1,0 +1,195 @@
+"""Kung-Luccio-Preparata (KLP) divide-and-conquer skyline [JACM 1975].
+
+This is the algorithm the paper implements as its benchmark ("KLP",
+section 5): the classic maxima-set divide and conquer with
+``O(n log n)`` time for ``d = 2, 3`` and ``O(n log^{d-2} n)`` for
+``d >= 4`` (adapted here to min-skylines).
+
+Structure
+---------
+* Sort by the first coordinate and split on a distinct median value, so
+  that every point in the low half strictly precedes every point in the
+  high half on that coordinate (no high point can dominate a low one).
+* Recursively compute both halves' skylines.
+* **Filter** the high skyline against the low skyline: a high point
+  dies iff some low point weakly dominates it on the *remaining*
+  coordinates — itself a divide and conquer that sheds one dimension
+  per level, with a linear sweep once two dimensions remain.
+
+Tie handling: the original algorithm assumes distinct values per
+dimension.  This implementation first collapses exact duplicate
+vectors (strict dominance treats copies identically, so membership is
+shared), then splits on *distinct* coordinate values; when a
+coordinate is constant across a sub-problem it is projected away.
+That recovers the textbook invariants without the distinctness
+assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+Point = Tuple[float, ...]
+
+#: Sub-problems at most this large are solved by pairwise filtering.
+_BRUTE_THRESHOLD = 16
+
+
+def klp_skyline(points: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the skyline of ``points`` under strict Pareto
+    dominance, ascending.
+
+    Semantics are identical to :func:`repro.baselines.naive.naive_skyline`
+    (exact duplicates all survive together).
+    """
+    if not points:
+        return []
+    groups: Dict[Point, List[int]] = {}
+    for idx, raw in enumerate(points):
+        groups.setdefault(tuple(float(v) for v in raw), []).append(idx)
+    distinct = sorted(groups)
+    winners = _skyline_distinct(distinct)
+    result: List[int] = []
+    for vector in winners:
+        result.extend(groups[vector])
+    return sorted(result)
+
+
+# ----------------------------------------------------------------------
+# Divide and conquer over distinct, lexicographically sorted vectors
+# ----------------------------------------------------------------------
+
+
+def _skyline_distinct(rows: List[Point]) -> List[Point]:
+    """Skyline of distinct lex-sorted vectors (weak == strict here)."""
+    if not rows:
+        return []
+    d = len(rows[0])
+    if d == 1:
+        return [rows[0]]  # lex-sorted: the minimum is first
+    if d == 2:
+        return _skyline_2d(rows)
+    return _skyline_dc(rows)
+
+
+def _skyline_2d(rows: List[Point]) -> List[Point]:
+    """Linear sweep over lex-sorted distinct 2-d vectors."""
+    result: List[Point] = []
+    best_y = float("inf")
+    for point in rows:
+        if point[1] < best_y:
+            result.append(point)
+            best_y = point[1]
+    return result
+
+
+def _skyline_dc(rows: List[Point]) -> List[Point]:
+    """General case (``d >= 3``): split on the first coordinate."""
+    if len(rows) <= _BRUTE_THRESHOLD:
+        return _brute_skyline(rows, axis=0)
+    values = sorted({row[0] for row in rows})
+    if len(values) == 1:
+        # The first coordinate is constant: dominance is decided by the
+        # remaining coordinates (suffixes stay distinct).
+        reduced = _skyline_distinct(sorted(row[1:] for row in rows))
+        kept = set(reduced)
+        return [row for row in rows if row[1:] in kept]
+    median = values[len(values) // 2]
+    low = [row for row in rows if row[0] < median]
+    high = [row for row in rows if row[0] >= median]
+    sky_low = _skyline_dc(low) if len(low) > _BRUTE_THRESHOLD else _brute_skyline(low, 0)
+    sky_high = _skyline_dc(high) if len(high) > _BRUTE_THRESHOLD else _brute_skyline(high, 0)
+    # Low points strictly precede high points on coordinate 0, so only
+    # low can kill high, and only the remaining coordinates matter.
+    survivors = _filter(sky_low, sky_high, axis=1)
+    return sky_low + survivors
+
+
+def _brute_skyline(rows: List[Point], axis: int) -> List[Point]:
+    """Pairwise skyline on coordinates ``axis..d-1`` (distinct rows)."""
+    result = []
+    for i, candidate in enumerate(rows):
+        if not any(
+            j != i and _suffix_dominates(other, candidate, axis)
+            for j, other in enumerate(rows)
+        ):
+            result.append(candidate)
+    return result
+
+
+def _suffix_dominates(a: Point, b: Point, axis: int) -> bool:
+    return all(x <= y for x, y in zip(a[axis:], b[axis:]))
+
+
+# ----------------------------------------------------------------------
+# The dimension-shedding filter
+# ----------------------------------------------------------------------
+
+
+def _filter(killers: List[Point], cands: List[Point], axis: int) -> List[Point]:
+    """Candidates not weakly dominated on coords ``axis..d-1`` by any
+    killer.
+
+    Precondition: every killer weakly dominates every candidate on the
+    coordinates before ``axis`` (guaranteed by the callers' splits).
+    """
+    if not killers or not cands:
+        return cands
+    d = len(cands[0])
+    if axis >= d:
+        # All coordinates already matched: everything is dominated.
+        return []
+    if axis == d - 1:
+        best = min(k[axis] for k in killers)
+        return [c for c in cands if c[axis] < best]
+    if axis == d - 2:
+        return _filter_sweep(killers, cands, axis)
+    if len(killers) * len(cands) <= _BRUTE_THRESHOLD * _BRUTE_THRESHOLD:
+        return [
+            c
+            for c in cands
+            if not any(_suffix_dominates(k, c, axis) for k in killers)
+        ]
+    values = sorted({p[axis] for p in killers} | {p[axis] for p in cands})
+    if len(values) == 1:
+        return _filter(killers, cands, axis + 1)
+    median = values[len(values) // 2]
+    k_low = [k for k in killers if k[axis] < median]
+    k_high = [k for k in killers if k[axis] >= median]
+    c_low = [c for c in cands if c[axis] < median]
+    c_high = [c for c in cands if c[axis] >= median]
+    # Within each side the axis ordering is undecided: recurse same-axis.
+    c_low = _filter(k_low, c_low, axis)
+    c_high = _filter(k_high, c_high, axis)
+    # Low killers satisfy the axis constraint against high candidates
+    # outright: shed this dimension.
+    c_high = _filter(k_low, c_high, axis + 1)
+    return c_low + c_high
+
+
+def _filter_sweep(killers: List[Point], cands: List[Point], axis: int) -> List[Point]:
+    """Two remaining coordinates: a merge sweep.
+
+    A candidate dies iff some killer has ``k[axis] <= c[axis]`` and
+    ``k[axis+1] <= c[axis+1]``; sweeping both sets in ``axis`` order
+    while tracking the killers' running minimum on ``axis+1`` decides
+    that in ``O((|K| + |C|) log)`` for the sorts plus a linear merge.
+    """
+    last = axis + 1
+    killers_sorted = sorted(killers, key=lambda p: p[axis])
+    order = sorted(range(len(cands)), key=lambda i: cands[i][axis])
+    survivors_idx = []
+    best = float("inf")
+    k_pos = 0
+    for idx in order:
+        candidate = cands[idx]
+        while k_pos < len(killers_sorted) and (
+            killers_sorted[k_pos][axis] <= candidate[axis]
+        ):
+            if killers_sorted[k_pos][last] < best:
+                best = killers_sorted[k_pos][last]
+            k_pos += 1
+        if candidate[last] < best:
+            survivors_idx.append(idx)
+    survivors_idx.sort()
+    return [cands[i] for i in survivors_idx]

@@ -1,0 +1,57 @@
+"""Quadratic-time skyline oracle.
+
+``O(n^2 d)`` pairwise filtering — far too slow for streams, but simple
+enough to be *obviously correct*, which makes it the reference
+implementation every other algorithm (and both engines) is validated
+against in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.dominance import dominates, weakly_dominates
+
+Point = Tuple[float, ...]
+
+
+def naive_skyline(points: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the skyline of ``points`` under strict Pareto
+    dominance, ascending.
+
+    Exact duplicates do not dominate each other, so all copies of a
+    duplicated skyline point are reported.
+    """
+    result = []
+    for i, candidate in enumerate(points):
+        if not any(
+            dominates(other, candidate)
+            for j, other in enumerate(points)
+            if j != i
+        ):
+            result.append(i)
+    return result
+
+
+def naive_skyline_youngest(points: Sequence[Sequence[float]]) -> List[int]:
+    """Like :func:`naive_skyline` but under *weak* dominance with the
+    engines' tie-break: of exact duplicates only the latest (highest
+    index) copy survives.
+
+    This matches what :class:`repro.core.nofn.NofNSkyline` reports for a
+    window (DESIGN.md §7), making it the oracle for engine tests.
+    """
+    result = []
+    for i, candidate in enumerate(points):
+        dominated = False
+        for j, other in enumerate(points):
+            if j == i:
+                continue
+            if weakly_dominates(other, candidate) and (
+                tuple(other) != tuple(candidate) or j > i
+            ):
+                dominated = True
+                break
+        if not dominated:
+            result.append(i)
+    return result

@@ -1,0 +1,72 @@
+"""Sort-filter-skyline (SFS) [Chomicki, Godfrey, Gryz, Liang, ICDE 2003].
+
+The paper cites this as [6]: pre-sort the input by a *monotone* scoring
+function — if ``a`` strictly dominates ``b`` then ``score(a) <
+score(b)`` — so that no point can be dominated by a later one.  A
+single scan then suffices: each point is compared against the skyline
+collected so far, and accepted points are never evicted.
+
+The default score is the coordinate sum, which is monotone for strict
+Pareto dominance (dominating a point implies a strictly smaller sum).
+Ties in the score are harmless: tied points cannot dominate each other
+strictly unless equal, and equal points never dominate strictly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.dominance import dominates
+
+ScoreFn = Callable[[Sequence[float]], float]
+
+
+@dataclass
+class SFSStats:
+    """Work counters for one :func:`sfs_skyline` run."""
+
+    comparisons: int = 0
+
+
+def sfs_skyline(
+    points: Sequence[Sequence[float]],
+    score: Optional[ScoreFn] = None,
+    stats: Optional[SFSStats] = None,
+) -> List[int]:
+    """Indices of the skyline of ``points``, ascending.
+
+    Parameters
+    ----------
+    points:
+        The input set (strict Pareto dominance, min-skyline).
+    score:
+        Monotone scoring function used for the pre-sort; defaults to
+        the coordinate sum.  Supplying a non-monotone function voids
+        correctness — the library does not (and cannot cheaply) verify
+        monotonicity.
+    stats:
+        Optional counter sink.
+    """
+    if score is None:
+        score = _coordinate_sum
+    if stats is None:
+        stats = SFSStats()
+
+    order = sorted(range(len(points)), key=lambda i: (score(points[i]), i))
+    skyline: List[int] = []
+    for idx in order:
+        candidate = points[idx]
+        dominated = False
+        for kept in skyline:
+            stats.comparisons += 1
+            if dominates(points[kept], candidate):
+                dominated = True
+                break
+        if not dominated:
+            skyline.append(idx)
+    return sorted(skyline)
+
+
+def _coordinate_sum(point: Sequence[float]) -> float:
+    return sum(point)

@@ -1,0 +1,149 @@
+"""Timing primitives for the benchmark harness.
+
+The paper reports three kinds of measurements:
+
+* per-element maintenance cost, *average and maximum* (Figures 14, 18);
+* average query processing time over batches of ad-hoc queries
+  (Figures 12, 13, 17a) — batched because "the time of each execution
+  of nN is too short to be recorded";
+* per-element *delay* including both maintenance and the queries
+  attributed to that element (Figures 15, 16, 17b), averaged per 1000
+  elements.
+
+These helpers implement exactly those measurement shapes on top of
+:func:`time.perf_counter`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class PerElementCost:
+    """Average / maximum / total wall-clock cost of a per-element loop."""
+
+    count: int
+    total_seconds: float
+    max_seconds: float
+
+    @property
+    def avg_seconds(self) -> float:
+        """Mean cost per element (0 when nothing was measured)."""
+        if self.count == 0:
+            return 0.0
+        return self.total_seconds / self.count
+
+    @property
+    def throughput(self) -> float:
+        """Sustained elements per second (inf when instantaneous)."""
+        if self.total_seconds == 0:
+            return float("inf")
+        return self.count / self.total_seconds
+
+
+def feed_timed(
+    engine,
+    points: Iterable[Sequence[float]],
+    warmup: int = 0,
+    per_element: Optional[Callable[[int], None]] = None,
+) -> PerElementCost:
+    """Feed ``points`` into ``engine`` timing each arrival.
+
+    Parameters
+    ----------
+    engine:
+        Anything with an ``append(values)`` method.
+    points:
+        The stream to feed.
+    warmup:
+        Leading arrivals excluded from the statistics (the paper cuts
+        the cheap window-filling phase "to avoid a misleading").
+    per_element:
+        Optional callback invoked (inside the timed region) after each
+        measured arrival with the 0-based element index — used by the
+        mixed-workload experiments to run the queries attributed to an
+        element.
+    """
+    count = 0
+    total = 0.0
+    worst = 0.0
+    for index, point in enumerate(points):
+        start = time.perf_counter()
+        engine.append(point)
+        if per_element is not None and index >= warmup:
+            per_element(index)
+        elapsed = time.perf_counter() - start
+        if index < warmup:
+            continue
+        count += 1
+        total += elapsed
+        if elapsed > worst:
+            worst = elapsed
+    return PerElementCost(count=count, total_seconds=total, max_seconds=worst)
+
+
+def time_batch(fn: Callable[[], object], repeats: int = 1) -> float:
+    """Total wall-clock seconds for ``repeats`` calls of ``fn``."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return time.perf_counter() - start
+
+
+def time_each(fns: Sequence[Callable[[], object]]) -> List[float]:
+    """Wall-clock seconds of each callable, in order."""
+    times = []
+    for fn in fns:
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def average_query_time(
+    run_query: Callable[[object], object], params: Sequence[object]
+) -> float:
+    """Mean seconds per query over a parameter batch.
+
+    The whole batch is timed with one clock read pair per query —
+    matching the paper's "average query processing costs of these 1K
+    queries" methodology.
+    """
+    if not params:
+        raise ValueError("need at least one query parameter")
+    start = time.perf_counter()
+    for param in params:
+        run_query(param)
+    return (time.perf_counter() - start) / len(params)
+
+
+def bucketed_query_times(
+    run_query: Callable[[object], object],
+    params: Sequence[object],
+    buckets: int,
+) -> List[Tuple[object, float]]:
+    """Average query time per consecutive-parameter bucket.
+
+    Figure 13 "divided these 1K queries into 33 disjoint sets ... with
+    the consecutive values of n" and reports each set's average; this
+    reproduces that bucketing.  Returns ``(bucket_representative,
+    avg_seconds)`` pairs, where the representative is the bucket's
+    median parameter.
+    """
+    if buckets < 1:
+        raise ValueError(f"buckets must be >= 1, got {buckets}")
+    ordered = sorted(params)  # type: ignore[type-var]
+    size = max(1, len(ordered) // buckets)
+    out: List[Tuple[object, float]] = []
+    for start_idx in range(0, len(ordered), size):
+        chunk = ordered[start_idx:start_idx + size]
+        if not chunk:
+            continue
+        avg = average_query_time(run_query, chunk)
+        out.append((chunk[len(chunk) // 2], avg))
+    return out

@@ -1,0 +1,209 @@
+"""Continuous n-of-N queries (paper section 3.4, Algorithm 2).
+
+A continuous query is registered once and its result set ``S_n`` is
+kept up to date as the stream advances.  Re-running the stabbing query
+per arrival costs ``O(log N + s)``; the trigger-based algorithm here
+instead applies Proposition 1 incrementally:
+
+* **Deletion** — a result element leaves when the newcomer dominates it
+  or when it expires from the most recent ``n`` elements;
+* **Insertion** — the newcomer enters when its critical dominator (if
+  any) is already outside the window; and when a result element
+  expires, the elements it *critically dominated* take its place
+  (cascading until the trigger heap's top is inside the window again).
+
+Each query keeps a **min-heap on kappa** over ``S_n`` — the trigger
+list.  Only the heap top must be examined per arrival, giving
+``O(delta)`` result maintenance plus ``O(log s)`` heap work per result
+change, where ``delta`` is the number of result changes.
+
+The manager consumes the :class:`~repro.core.events.ArrivalOutcome`
+emitted by :meth:`NofNSkyline.append`; this realises the paper's
+"linking an element to the continuous queries which are using it".
+
+Usage::
+
+    engine = NofNSkyline(dim=2, capacity=1000)
+    manager = ContinuousQueryManager(engine)
+    handle = manager.register(n=100)
+    for point in stream:
+        manager.append(point)          # feeds engine + all queries
+        current = handle.result()      # always equals engine.query(100)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Sequence
+
+from repro.core.element import StreamElement
+from repro.core.events import ArrivalOutcome
+from repro.core.nofn import NofNSkyline
+from repro.exceptions import InvalidWindowError, QueryNotRegisteredError
+from repro.structures.heap import MinIndexedHeap
+
+
+class ContinuousQueryHandle:
+    """A registered continuous n-of-N query.
+
+    The handle owns the query's result set and trigger heap; it is
+    updated by its :class:`ContinuousQueryManager` and read by the
+    application.
+    """
+
+    def __init__(self, query_id: int, n: int) -> None:
+        self.query_id = query_id
+        self.n = n
+        self._members: Dict[int, StreamElement] = {}
+        self._heap: MinIndexedHeap[int] = MinIndexedHeap()
+        #: Number of element insertions+deletions applied since
+        #: registration (the paper's cumulative ``delta``).
+        self.changes = 0
+
+    def result(self) -> List[StreamElement]:
+        """The current skyline of the most recent ``n`` elements,
+        sorted by arrival position."""
+        return [self._members[k] for k in sorted(self._members)]
+
+    def result_kappas(self) -> List[int]:
+        """Arrival labels of the current result, ascending."""
+        return sorted(self._members)
+
+    def __contains__(self, kappa: int) -> bool:
+        return kappa in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    # -- mutations (manager only) --------------------------------------
+
+    def _add(self, element: StreamElement) -> None:
+        self._members[element.kappa] = element
+        self._heap.push(element.kappa, element.kappa)
+        self.changes += 1
+
+    def _remove(self, kappa: int) -> None:
+        del self._members[kappa]
+        self._heap.delete(kappa)
+        self.changes += 1
+
+
+class ContinuousQueryManager:
+    """Runs any number of continuous n-of-N queries over one engine.
+
+    The manager wraps an :class:`NofNSkyline`; feed the stream through
+    :meth:`append` (or call :meth:`process` yourself with the outcomes
+    of ``engine.append`` if you drive the engine directly).
+    """
+
+    def __init__(self, engine: NofNSkyline) -> None:
+        self.engine = engine
+        self._queries: Dict[int, ContinuousQueryHandle] = {}
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register(self, n: int) -> ContinuousQueryHandle:
+        """Register a continuous n-of-N query.
+
+        The initial result is computed with one stabbing query; from
+        then on the result is maintained incrementally.
+        """
+        if not 1 <= n <= self.engine.capacity:
+            raise InvalidWindowError(
+                f"n must be in [1, {self.engine.capacity}], got {n}"
+            )
+        handle = ContinuousQueryHandle(self._next_id, n)
+        self._next_id += 1
+        for element in self.engine.query(n):
+            handle._add(element)
+        handle.changes = 0
+        self._queries[handle.query_id] = handle
+        return handle
+
+    def unregister(self, handle: ContinuousQueryHandle) -> None:
+        """Stop maintaining ``handle``."""
+        if self._queries.pop(handle.query_id, None) is None:
+            raise QueryNotRegisteredError(
+                f"query {handle.query_id} is not registered here"
+            )
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self) -> Iterator[ContinuousQueryHandle]:
+        return iter(list(self._queries.values()))
+
+    # ------------------------------------------------------------------
+    # Stream feeding
+    # ------------------------------------------------------------------
+
+    def append(self, values: Sequence[float], payload: Any = None) -> ArrivalOutcome:
+        """Feed one element to the engine and update every query."""
+        outcome = self.engine.append(values, payload)
+        self.process(outcome)
+        return outcome
+
+    def process(self, outcome: ArrivalOutcome) -> None:
+        """Apply one arrival's changes (Algorithm 2) to every query."""
+        removed_kappas = outcome.removed_kappas
+        # Children of an element that expired from R_N this arrival are
+        # no longer reachable through the engine; resolve them from the
+        # outcome's captured snapshot.
+        expired_children = {
+            rec.element.kappa: rec.children for rec in outcome.expired
+        }
+        for handle in self._queries.values():
+            self._process_query(handle, outcome, removed_kappas, expired_children)
+
+    def _process_query(
+        self,
+        handle: ContinuousQueryHandle,
+        outcome: ArrivalOutcome,
+        removed_kappas: frozenset,
+        expired_children: Dict[int, tuple],
+    ) -> None:
+        window_start = outcome.seen_so_far - handle.n + 1
+
+        # Lines 3-5: drop result elements the newcomer dominates.
+        for element in outcome.dominated_removed:
+            if element.kappa in handle:
+                handle._remove(element.kappa)
+
+        # Lines 6-8: the newcomer joins unless its critical dominator is
+        # still inside the n-window.  (A root always joins — including
+        # early in the stream, when the window is not yet full and
+        # ``window_start`` is non-positive.)
+        if outcome.parent_kappa == 0 or outcome.parent_kappa < window_start:
+            handle._add(outcome.element)
+
+        # Lines 9-14: fire the trigger while the heap top has expired
+        # from the n-window; each firing promotes the children of the
+        # expired result element (cascading if a child is itself already
+        # outside the window).
+        heap = handle._heap
+        while heap:
+            top_kappa, _ = heap.peek()
+            if top_kappa >= window_start:
+                break
+            handle._remove(top_kappa)
+            for child in self._children_of(top_kappa, expired_children):
+                if child.kappa in removed_kappas or child.kappa in handle:
+                    # Dominated by the newcomer this very arrival (and
+                    # hence not skyline), or already present.
+                    continue
+                handle._add(child)
+
+    def _children_of(
+        self, kappa: int, expired_children: Dict[int, tuple]
+    ) -> List[StreamElement]:
+        """Current critical children of ``kappa``.
+
+        Resolved from the live dominance graph when the element is still
+        in ``R_N``, otherwise from the expiry snapshot captured in the
+        arrival outcome.
+        """
+        if kappa in expired_children:
+            return list(expired_children[kappa])
+        return self.engine.children_of(kappa)

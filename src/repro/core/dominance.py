@@ -1,0 +1,59 @@
+"""Dominance predicates (min-skyline convention).
+
+For points ``x = (x_1..x_d)`` and ``y = (y_1..y_d)`` the paper defines
+"``x`` dominates ``y``" as ``x_i <= y_i`` for every ``i`` (section 1),
+with the working assumption that values on each dimension are distinct
+(Theorem 2).  Without that assumption the ``<=``-everywhere relation is
+a preorder — equal points dominate each other — so the library uses two
+explicit predicates:
+
+* :func:`weakly_dominates` — ``<=`` on every axis (includes equality).
+  This drives redundancy pruning: a younger duplicate makes the older
+  copy redundant, which keeps ``R_N`` minimal and the dominance graph a
+  forest even with ties.
+* :func:`dominates` — ``<=`` everywhere and ``<`` somewhere (the usual
+  strict Pareto dominance).  This defines skyline *membership*.
+
+Under distinct values the two coincide, matching the paper exactly.
+The skyline reported by the engines therefore contains, of any set of
+exactly-equal points, only the youngest copy — a deliberate,
+documented tie-break (DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def weakly_dominates(x: Sequence[float], y: Sequence[float]) -> bool:
+    """``x_i <= y_i`` on every axis (equal points dominate each other)."""
+    if len(x) != len(y):
+        raise ValueError(
+            f"dimension mismatch: {len(x)} vs {len(y)}"
+        )
+    return all(a <= b for a, b in zip(x, y))
+
+
+def dominates(x: Sequence[float], y: Sequence[float]) -> bool:
+    """Strict Pareto dominance: ``<=`` everywhere and ``<`` somewhere."""
+    if len(x) != len(y):
+        raise ValueError(
+            f"dimension mismatch: {len(x)} vs {len(y)}"
+        )
+    strict = False
+    for a, b in zip(x, y):
+        if a > b:
+            return False
+        if a < b:
+            strict = True
+    return strict
+
+
+def incomparable(x: Sequence[float], y: Sequence[float]) -> bool:
+    """Neither point weakly dominates the other."""
+    return not weakly_dominates(x, y) and not weakly_dominates(y, x)
+
+
+def dominance_count(point: Sequence[float], others) -> int:
+    """How many of ``others`` strictly dominate ``point`` (O(n*d) scan)."""
+    return sum(1 for other in others if dominates(other, point))

@@ -1,0 +1,68 @@
+"""Arrival outcome records.
+
+Every call to :meth:`repro.core.nofn.NofNSkyline.append` performs the
+maintenance of Algorithm 1 and reports *what changed* as an
+:class:`ArrivalOutcome`.  The continuous-query manager (Algorithm 2)
+consumes these outcomes instead of re-deriving the changes — that is
+exactly the "linking an element to the continuous queries which are
+using it" coupling the paper describes in section 3.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.element import StreamElement
+
+
+@dataclass(frozen=True)
+class ExpiredRecord:
+    """An element that left the most recent N elements this arrival.
+
+    ``children`` lists the elements it *critically dominated* at the
+    moment of expiry (they are re-rooted by Algorithm 1 lines 5-7 and
+    are candidate skyline insertions per Proposition 1).
+    """
+
+    element: StreamElement
+    children: Tuple[StreamElement, ...]
+
+
+@dataclass(frozen=True)
+class ArrivalOutcome:
+    """Everything Algorithm 1 did for one new element.
+
+    Attributes
+    ----------
+    element:
+        The newcomer ``e_new`` (its ``kappa`` equals the stream position
+        ``M`` after this arrival).
+    seen_so_far:
+        ``M`` — total elements seen, including this one.
+    dominated_removed:
+        ``D_{e_new}``: elements ejected from ``R_N`` because the
+        newcomer weakly dominates them (youngest first is *not*
+        guaranteed; order follows the R-tree traversal).
+    parent_kappa:
+        Label of the newcomer's critical dominator, or ``0`` when the
+        newcomer is a root of the dominance graph.
+    expired:
+        Elements that fell out of the window this arrival (at most one
+        for the count-based n-of-N window; possibly several for
+        time-based windows), each with its children at expiry time.
+    """
+
+    element: StreamElement
+    seen_so_far: int
+    dominated_removed: Tuple[StreamElement, ...] = ()
+    parent_kappa: int = 0
+    expired: Tuple[ExpiredRecord, ...] = ()
+
+    @property
+    def removed_kappas(self) -> frozenset:
+        """Labels of every element that left ``R_N`` this arrival."""
+        return frozenset(
+            [e.kappa for e in self.dominated_removed]
+            + [rec.element.kappa for rec in self.expired]
+        )

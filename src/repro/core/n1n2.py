@@ -1,0 +1,341 @@
+"""(n1,n2)-of-N skyline queries (paper section 4).
+
+An (n1,n2)-of-N query asks for the skyline of the elements between the
+``n2``-th and the ``n1``-th most recent arrivals (``n1 <= n2 <= N``) —
+recent "historic" information, with n-of-N as the special case
+``n1 = 1``.
+
+Unlike n-of-N processing, *all* of ``P_N`` must be retained (``n1``
+could equal ``n2``).  Every element ``e`` carries two ancestors:
+
+* ``a_e`` — the **critical ancestor**: youngest *older* dominator
+  (Equation 1; ``0`` when none exists), and
+* ``b_e`` — the **backward critical ancestor**: oldest *younger*
+  dominator (Equation 2; ``infinity`` — stored as ``None`` — while no
+  younger dominator exists, i.e. while ``e`` is in ``R_N``).
+
+Theorem 4: ``e`` answers an (n1,n2)-of-N query iff ::
+
+    kappa(a_e) < M - n2 + 1 <= kappa(e) <= M - n1 + 1 < kappa(b_e)
+
+The edge set (the *CBC dominance graph*) is encoded as intervals
+``(kappa(a_e), kappa(e)]`` annotated with ``kappa(b_e)`` and split over
+two interval trees (Figure 11):
+
+* ``I_RN`` — elements still in ``R_N`` (``b_e = infinity``), which is
+  exactly the n-of-N structure of section 3.2, and
+* ``I_RN-`` — superseded elements (finite ``b_e``).
+
+Queries stab both trees with ``M - n2 + 1`` and post-filter on the
+``b_e`` condition (Algorithm 3); maintenance (Algorithm 4) mirrors
+Algorithm 1, with dominated elements *demoted* from ``I_RN`` to
+``I_RN-`` instead of discarded.  Every element moves between the trees
+at most once, keeping updates amortised ``O(log N)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.dominance import weakly_dominates
+from repro.core.element import StreamElement
+from repro.core.stats import EngineStats
+from repro.exceptions import InvalidWindowError
+from repro.structures.interval_tree import IntervalHandle, IntervalTree
+from repro.structures.rtree import RTree
+
+
+class _WindowRecord:
+    """Book-keeping for one element of ``P_N`` (CBC graph vertex)."""
+
+    __slots__ = (
+        "element",
+        "a_kappa",
+        "b_kappa",
+        "handle",
+        "in_rn",
+        "dependents",
+    )
+
+    def __init__(self, element: StreamElement) -> None:
+        self.element = element
+        self.a_kappa: int = 0
+        self.b_kappa: Optional[int] = None  # None encodes +infinity
+        self.handle: Optional[IntervalHandle] = None
+        self.in_rn = True
+        #: kappas of elements whose critical ancestor is this element.
+        self.dependents: Set[int] = set()
+
+
+class N1N2Skyline:
+    """Sliding-window engine answering all (n1,n2)-of-N skyline queries.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of the stream's value vectors.
+    capacity:
+        ``N`` — the window size; queries may use any
+        ``1 <= n1 <= n2 <= N``.
+
+    Notes
+    -----
+    Space is ``O(N)``: the whole window is retained, as section 4
+    requires.  Use :class:`repro.core.nofn.NofNSkyline` when only
+    ``n1 = 1`` queries are needed — it stores only ``R_N``.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        capacity: int,
+        rtree_max_entries: int = 12,
+        rtree_min_entries: int = 4,
+    ) -> None:
+        if capacity < 1:
+            raise InvalidWindowError(f"capacity must be >= 1, got {capacity}")
+        if dim < 1:
+            raise ValueError(f"dimension must be >= 1, got {dim}")
+        self.dim = dim
+        self.capacity = capacity
+        self._m = 0
+        self._records: Dict[int, _WindowRecord] = {}
+        self._live = IntervalTree()  # I_RN   (b = infinity)
+        self._superseded = IntervalTree()  # I_RN- (finite b)
+        self._rtree = RTree(
+            dim, max_entries=rtree_max_entries, min_entries=rtree_min_entries
+        )
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Maintenance (Algorithm 4)
+    # ------------------------------------------------------------------
+
+    def append(self, values: Sequence[float], payload: Any = None) -> StreamElement:
+        """Ingest one stream element; return it."""
+        self._m += 1
+        element = StreamElement(values, self._m, payload)
+
+        # -- Expire the element leaving P_N (always the oldest). --------
+        expired = 0
+        leaving = self._m - self.capacity
+        if leaving >= 1:
+            self._expire(self._records[leaving])
+            expired = 1
+
+        # -- Demote D_{e_new}: e_new becomes their backward ancestor. ---
+        demoted = 0
+        for entry in self._rtree.remove_dominated(element.values):
+            record: _WindowRecord = entry.data
+            self._demote(record, b_kappa=element.kappa)
+            demoted += 1
+
+        # -- Critical ancestor of the newcomer (best-first search). -----
+        record = _WindowRecord(element)
+        parent_entry = self._rtree.max_kappa_dominator(element.values)
+        if parent_entry is not None:
+            parent: _WindowRecord = parent_entry.data
+            record.a_kappa = parent.element.kappa
+            parent.dependents.add(element.kappa)
+
+        record.handle = self._live.insert(
+            float(record.a_kappa), float(element.kappa), record
+        )
+        self._rtree.insert(element.values, element.kappa, record)
+        self._records[element.kappa] = record
+
+        self.stats.record_arrival(
+            expired=expired, dominated=demoted, rn_size=len(self._rtree)
+        )
+        return element
+
+    def _expire(self, record: _WindowRecord) -> None:
+        """Drop the oldest window element, re-rooting its dependents."""
+        assert record.a_kappa == 0, (
+            "the oldest element of P_N cannot have a live critical ancestor"
+        )
+        for dep_kappa in sorted(record.dependents):
+            dep = self._records[dep_kappa]
+            tree = self._live if dep.in_rn else self._superseded
+            dep.handle = tree.replace(dep.handle, 0.0, float(dep_kappa))
+            dep.a_kappa = 0
+        record.dependents.clear()
+        tree = self._live if record.in_rn else self._superseded
+        tree.remove(record.handle)
+        record.handle = None
+        if record.in_rn:
+            self._rtree.delete(record.element.kappa)
+        del self._records[record.element.kappa]
+
+    def _demote(self, record: _WindowRecord, b_kappa: int) -> None:
+        """Move a newly-dominated element from ``I_RN`` to ``I_RN-``.
+
+        Its R-tree entry has already been removed by
+        :meth:`RTree.remove_dominated`; its interval keeps the same
+        endpoints, but now carries a finite backward ancestor.
+        """
+        self._live.remove(record.handle)
+        record.handle = self._superseded.insert(
+            float(record.a_kappa), float(record.element.kappa), record
+        )
+        record.b_kappa = b_kappa
+        record.in_rn = False
+
+    # ------------------------------------------------------------------
+    # Query processing (Algorithm 3)
+    # ------------------------------------------------------------------
+
+    def query(self, n1: int, n2: int) -> List[StreamElement]:
+        """Skyline of the elements between the ``n2``-th and ``n1``-th
+        most recent arrivals, sorted by ``kappa``.
+
+        Raises
+        ------
+        InvalidWindowError
+            Unless ``1 <= n1 <= n2 <= capacity``.
+        """
+        if not 1 <= n1 <= n2 <= self.capacity:
+            raise InvalidWindowError(
+                f"need 1 <= n1 <= n2 <= {self.capacity}, got ({n1}, {n2})"
+            )
+        self.stats.queries += 1
+        if self._m == 0:
+            return []
+        upper = self._m - n1 + 1  # kappa of the n1-th most recent element
+        if upper < 1:
+            return []  # the requested slice predates the stream
+        stab = max(1, self._m - n2 + 1)
+
+        results: List[StreamElement] = []
+        for record in self._live.stab(stab):
+            # Live elements have b = infinity; only the upper bound on
+            # kappa(e) needs checking.
+            if record.element.kappa <= upper:
+                results.append(record.element)
+        if n1 > 1:
+            # Superseded elements have finite b <= M; they can only
+            # qualify when the slice ends strictly before the present.
+            for record in self._superseded.stab(stab):
+                if record.element.kappa <= upper < record.b_kappa:
+                    results.append(record.element)
+        results.sort(key=lambda e: e.kappa)
+        self.stats.query_results += len(results)
+        return results
+
+    def query_nofn(self, n: int) -> List[StreamElement]:
+        """The n-of-N special case (``n1 = 1``)."""
+        return self.query(1, n)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def seen_so_far(self) -> int:
+        """``M`` — number of elements ingested."""
+        return self._m
+
+    @property
+    def window_size(self) -> int:
+        """Current ``|P_N|`` (= min(M, N))."""
+        return len(self._records)
+
+    @property
+    def rn_size(self) -> int:
+        """Current ``|R_N|`` within the window."""
+        return len(self._rtree)
+
+    def window_elements(self) -> List[StreamElement]:
+        """Every element of ``P_N``, oldest first."""
+        return [self._records[k].element for k in sorted(self._records)]
+
+    def ancestors(self, kappa: int) -> Tuple[int, Optional[int]]:
+        """``(kappa(a_e), kappa(b_e))`` for the window element labelled
+        ``kappa`` (``0`` means no critical ancestor; ``None`` means the
+        backward critical ancestor does not exist yet)."""
+        record = self._records[kappa]
+        return record.a_kappa, record.b_kappa
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # Validation (used by the test suite)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert CBC-graph and cross-structure consistency."""
+        expected_window = min(self._m, self.capacity)
+        assert len(self._records) == expected_window
+        assert len(self._live) + len(self._superseded) == expected_window
+        assert len(self._rtree) == len(self._live)
+        self._rtree.check_invariants()
+        self._live.check_invariants()
+        self._superseded.check_invariants()
+        for kappa, record in self._records.items():
+            assert record.element.kappa == kappa
+            interval = record.handle.interval
+            assert interval.high == float(kappa)
+            assert interval.low == float(record.a_kappa)
+            if record.a_kappa:
+                parent = self._records[record.a_kappa]
+                assert parent.element.kappa < kappa
+                assert kappa in parent.dependents
+                assert weakly_dominates(
+                    parent.element.values, record.element.values
+                )
+            if record.in_rn:
+                assert record.b_kappa is None
+                assert kappa in self._rtree
+            else:
+                successor = self._records[record.b_kappa]
+                assert successor.element.kappa > kappa
+                assert weakly_dominates(
+                    successor.element.values, record.element.values
+                )
+            for dep_kappa in record.dependents:
+                assert self._records[dep_kappa].a_kappa == kappa
+
+
+class ContinuousN1N2Query:
+    """A continuous (n1,n2)-of-N query.
+
+    The paper develops a space-efficient trigger algorithm for this case
+    but omits it for space (section 4, final paragraph); following
+    DESIGN.md §4, this wrapper maintains the result by re-running the
+    stabbing query per arrival — the strategy the paper itself
+    benchmarks as "running nN per new data element" in Figure 16 — and
+    reports the per-arrival result delta so applications can react to
+    changes only.
+    """
+
+    def __init__(self, engine: N1N2Skyline, n1: int, n2: int) -> None:
+        if not 1 <= n1 <= n2 <= engine.capacity:
+            raise InvalidWindowError(
+                f"need 1 <= n1 <= n2 <= {engine.capacity}, got ({n1}, {n2})"
+            )
+        self.engine = engine
+        self.n1 = n1
+        self.n2 = n2
+        self._current: List[StreamElement] = engine.query(n1, n2)
+
+    def append(
+        self, values: Sequence[float], payload: Any = None
+    ) -> Tuple[List[StreamElement], List[StreamElement]]:
+        """Feed one element; return ``(added, removed)`` result changes."""
+        self.engine.append(values, payload)
+        return self.refresh()
+
+    def refresh(self) -> Tuple[List[StreamElement], List[StreamElement]]:
+        """Recompute the result; return ``(added, removed)``."""
+        fresh = self.engine.query(self.n1, self.n2)
+        old = {e.kappa: e for e in self._current}
+        new = {e.kappa: e for e in fresh}
+        added = [e for k, e in new.items() if k not in old]
+        removed = [e for k, e in old.items() if k not in new]
+        self._current = fresh
+        return added, removed
+
+    def result(self) -> List[StreamElement]:
+        """The current result, sorted by arrival position."""
+        return list(self._current)

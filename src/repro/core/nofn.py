@@ -1,0 +1,352 @@
+"""The n-of-N skyline engine (paper sections 3.1-3.3).
+
+:class:`NofNSkyline` maintains, over an append-only stream, exactly the
+state the paper proves sufficient for answering *every* n-of-N skyline
+query (``n <= N``):
+
+* ``R_N`` — the non-redundant elements (Theorem 1), held in an
+  in-memory R-tree, an ordered label set, and an interval tree, wired
+  together as in Figure 6;
+* the **critical dominance graph** ``G_{R_N}`` — each element points to
+  its youngest older dominator within ``R_N`` (a forest) — encoded as
+  half-open intervals ``(kappa(parent), kappa(e)]`` (roots:
+  ``(0, kappa(e)]``).
+
+Per arrival, :meth:`append` runs Algorithm 1:
+
+1. expire the oldest ``R_N`` element once it leaves the window,
+   re-rooting its children's intervals to ``(0, kappa(child)]``;
+2. find and eject ``D_{e_new}`` — everything the newcomer weakly
+   dominates — via depth-first R-tree dominance reporting;
+3. find the newcomer's critical dominator via best-first R-tree search;
+4. install the newcomer's interval, R-tree entry and label.
+
+:meth:`query` then answers an n-of-N query as a **stabbing query**
+(Theorem 3): stab the interval tree with ``M - n + 1`` and report the
+elements owning the stabbed intervals — ``O(log N + s)`` behaviour.
+
+The label/threshold machinery is factored into small overridable hooks
+so :class:`repro.core.timewindow.TimeWindowSkyline` can reuse the whole
+engine with timestamps instead of positions (the paper's closing remark
+in section 6).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from repro.core.dominance import weakly_dominates
+from repro.core.element import StreamElement
+from repro.core.events import ArrivalOutcome, ExpiredRecord
+from repro.core.stats import EngineStats
+from repro.exceptions import InvalidWindowError
+from repro.structures.interval_tree import IntervalHandle, IntervalTree
+from repro.structures.labelset import LabelSet
+from repro.structures.rtree import RTree
+
+
+class _Record:
+    """Book-keeping for one element of ``R_N``.
+
+    Realises the 1-1 links of Figure 6: element <-> R-tree entry <->
+    interval <-> label.
+    """
+
+    __slots__ = ("element", "label", "parent_kappa", "children", "handle", "entry")
+
+    def __init__(self, element: StreamElement, label: float) -> None:
+        self.element = element
+        self.label = label
+        self.parent_kappa: int = 0
+        self.children: Set[int] = set()
+        self.handle: Optional[IntervalHandle] = None
+        self.entry = None
+
+
+class NofNSkyline:
+    """Sliding-window engine answering all n-of-N skyline queries.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of the stream's value vectors.
+    capacity:
+        ``N`` — the window size.  Queries may use any ``n <= N``.
+    rtree_max_entries / rtree_min_entries:
+        Fan-out bounds of the internal R-tree.
+
+    Notes
+    -----
+    Dominance is *weak* (coordinate-wise ``<=``): of exactly duplicated
+    points only the youngest copy is retained and reported (DESIGN.md
+    §7); under the paper's distinct-values assumption behaviour is
+    identical to strict dominance.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        capacity: int,
+        rtree_max_entries: int = 12,
+        rtree_min_entries: int = 4,
+        rtree_split: str = "quadratic",
+    ) -> None:
+        if capacity < 1:
+            raise InvalidWindowError(f"capacity must be >= 1, got {capacity}")
+        if dim < 1:
+            raise ValueError(f"dimension must be >= 1, got {dim}")
+        self.dim = dim
+        self.capacity = capacity
+        self._m = 0
+        self._records: Dict[int, _Record] = {}
+        self._labels: LabelSet[_Record] = LabelSet()
+        self._intervals: IntervalTree[_Record] = IntervalTree()
+        self._rtree = RTree(
+            dim,
+            max_entries=rtree_max_entries,
+            min_entries=rtree_min_entries,
+            split=rtree_split,
+        )
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Hooks overridden by the time-window variant
+    # ------------------------------------------------------------------
+
+    def _assign_label(self, element: StreamElement) -> float:
+        """The label used as interval endpoints; positions by default."""
+        return element.kappa
+
+    def _window_start(self, new_label: float) -> float:
+        """Labels strictly below this value have left the window."""
+        return self._m - self.capacity + 1
+
+    # ------------------------------------------------------------------
+    # Maintenance (Algorithm 1)
+    # ------------------------------------------------------------------
+
+    def append(self, values: Sequence[float], payload: Any = None) -> ArrivalOutcome:
+        """Ingest one stream element; return what changed.
+
+        The returned :class:`ArrivalOutcome` feeds the continuous-query
+        manager (Algorithm 2); ad-hoc users may ignore it.
+        """
+        self._m += 1
+        element = StreamElement(values, self._m, payload)
+        label = self._assign_label(element)
+        return self._arrive(element, label)
+
+    def _arrive(self, element: StreamElement, label: float) -> ArrivalOutcome:
+        # -- Lines 2-8: expire elements that left the window. ----------
+        threshold = self._window_start(label)
+        expired: List[ExpiredRecord] = []
+        while self._labels:
+            oldest_label, oldest = self._labels.oldest()
+            if oldest_label >= threshold:
+                break
+            expired.append(self._expire(oldest))
+
+        # -- Lines 9-13: eject D_{e_new}. ------------------------------
+        dominated: List[StreamElement] = []
+        for entry in self._rtree.remove_dominated(element.values):
+            record: _Record = entry.data
+            self._detach(record)
+            dominated.append(record.element)
+
+        # -- Lines 14-15: critical dominator + installation. -----------
+        parent_entry = self._rtree.max_kappa_dominator(element.values)
+        record = _Record(element, label)
+        if parent_entry is None:
+            low = 0.0
+        else:
+            parent: _Record = parent_entry.data
+            record.parent_kappa = parent.element.kappa
+            parent.children.add(element.kappa)
+            low = parent.label
+        record.handle = self._intervals.insert(low, label, record)
+        record.entry = self._rtree.insert(element.values, element.kappa, record)
+        self._labels.append(label, record)
+        self._records[element.kappa] = record
+
+        self.stats.record_arrival(
+            expired=len(expired),
+            dominated=len(dominated),
+            rn_size=len(self._records),
+        )
+        return ArrivalOutcome(
+            element=element,
+            seen_so_far=self._m,
+            dominated_removed=tuple(dominated),
+            parent_kappa=record.parent_kappa,
+            expired=tuple(expired),
+        )
+
+    def _expire(self, record: _Record) -> ExpiredRecord:
+        """Remove an expired root from ``R_N``, re-rooting its children."""
+        assert record.parent_kappa == 0, (
+            "the oldest element of R_N must be a root of the dominance graph"
+        )
+        children = sorted(record.children)
+        for child_kappa in children:
+            child = self._records[child_kappa]
+            child.handle = self._intervals.replace(child.handle, 0.0, child.label)
+            child.parent_kappa = 0
+        self._intervals.remove(record.handle)
+        self._rtree.delete(record.element.kappa)
+        self._labels.remove(record.label)
+        del self._records[record.element.kappa]
+        record.handle = None
+        record.entry = None
+        return ExpiredRecord(
+            element=record.element,
+            children=tuple(self._records[k].element for k in children),
+        )
+
+    def _detach(self, record: _Record) -> None:
+        """Remove a dominated element's interval, label and parent link.
+
+        The R-tree entry has already been removed by
+        :meth:`RTree.remove_dominated`.
+        """
+        self._intervals.remove(record.handle)
+        record.handle = None
+        record.entry = None
+        parent = self._records.get(record.parent_kappa)
+        if parent is not None:
+            parent.children.discard(record.element.kappa)
+        self._labels.remove(record.label)
+        del self._records[record.element.kappa]
+
+    # ------------------------------------------------------------------
+    # Query processing (Theorem 3 / section 3.2)
+    # ------------------------------------------------------------------
+
+    def query(self, n: int) -> List[StreamElement]:
+        """Skyline of the most recent ``n`` elements, sorted by ``kappa``.
+
+        Raises
+        ------
+        InvalidWindowError
+            If ``n`` is not in ``[1, capacity]``.
+        """
+        stab = self._stab_point(n)
+        if stab is None:
+            self.stats.record_query(0)
+            return []
+        records = self._intervals.stab(stab)
+        records.sort(key=lambda r: r.element.kappa)
+        self.stats.record_query(len(records))
+        return [r.element for r in records]
+
+    def _stab_point(self, n: int) -> Optional[float]:
+        if not 1 <= n <= self.capacity:
+            raise InvalidWindowError(
+                f"n must be in [1, {self.capacity}], got {n}"
+            )
+        if self._m == 0:
+            return None
+        # A query for more elements than have arrived degenerates to the
+        # skyline of everything seen so far (stab point clamps to 1).
+        return max(1, self._m - n + 1)
+
+    def skyline(self) -> List[StreamElement]:
+        """Skyline of the whole window (the classic sliding-window case,
+        ``n = N``)."""
+        return self.query(self.capacity)
+
+    def query_scan(self, n: int) -> List[StreamElement]:
+        """Ablation/debug variant of :meth:`query`: answer by scanning
+        ``R_N`` and applying Theorem 3 directly, without the interval
+        tree — ``O(|R_N|)`` instead of ``O(log N + s)``.
+
+        Returns exactly what :meth:`query` returns; exists so the
+        benchmarks can price the interval-tree design choice and so
+        tests have an independent second implementation.
+        """
+        stab = self._stab_point(n)
+        if stab is None:
+            self.stats.record_query(0)
+            return []
+        results = []
+        for kappa, record in self._records.items():
+            parent_label = (
+                0.0
+                if record.parent_kappa == 0
+                else self._records[record.parent_kappa].label
+            )
+            if parent_label < stab <= record.label:
+                results.append(record.element)
+        results.sort(key=lambda e: e.kappa)
+        self.stats.record_query(len(results))
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def seen_so_far(self) -> int:
+        """``M`` — number of elements ingested."""
+        return self._m
+
+    @property
+    def rn_size(self) -> int:
+        """``|R_N|`` — the minimized element count of Theorem 1."""
+        return len(self._records)
+
+    def non_redundant(self) -> List[StreamElement]:
+        """The elements of ``R_N``, oldest first."""
+        return [record.element for _, record in self._labels.items()]
+
+    def critical_parent(self, kappa: int) -> Optional[StreamElement]:
+        """The critical dominator of the ``R_N`` element labelled
+        ``kappa`` (``None`` for roots)."""
+        record = self._records[kappa]
+        if record.parent_kappa == 0:
+            return None
+        return self._records[record.parent_kappa].element
+
+    def children_of(self, kappa: int) -> List[StreamElement]:
+        """Elements critically dominated by the element labelled
+        ``kappa``, sorted by arrival."""
+        record = self._records[kappa]
+        return [self._records[c].element for c in sorted(record.children)]
+
+    def dominance_graph_edges(self) -> List[tuple]:
+        """All critical-dominance edges as ``(parent_kappa, child_kappa)``
+        pairs (``parent_kappa == 0`` for roots)."""
+        return sorted(
+            (record.parent_kappa, kappa) for kappa, record in self._records.items()
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # Validation (used by the test suite)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert cross-structure consistency and the forest property."""
+        assert len(self._records) == len(self._labels) == len(self._rtree)
+        assert len(self._intervals) == len(self._records)
+        self._rtree.check_invariants()
+        self._intervals.check_invariants()
+        self._labels.check_invariants()
+        for kappa, record in self._records.items():
+            assert record.element.kappa == kappa
+            assert record.handle is not None
+            interval = record.handle.interval
+            assert interval.high == record.label
+            if record.parent_kappa == 0:
+                assert interval.low == 0.0
+            else:
+                parent = self._records[record.parent_kappa]
+                assert interval.low == parent.label
+                assert kappa in parent.children
+                assert parent.element.kappa < kappa, "parent must be older"
+                assert weakly_dominates(
+                    parent.element.values, record.element.values
+                ), "parent must dominate child"
+            for child_kappa in record.children:
+                assert self._records[child_kappa].parent_kappa == kappa

@@ -1,0 +1,274 @@
+"""Windowed k-skybands: the paper's machinery, one level deeper.
+
+The *k-skyband* of a point set contains every point dominated by fewer
+than ``k`` others (``k = 1`` is the skyline).  This module answers
+**n-of-N k-skyband queries** — the k-skyband of the most recent ``n``
+elements, for any ``n <= N`` — by generalising the paper's two pillars:
+
+**Pruning (Theorem 1, generalised).**  An element with ``>= k``
+*younger* dominators can never enter the k-skyband of any window that
+contains it (those dominators are in every such window).  The minimal
+retained set ``R_N^k`` therefore keeps elements with fewer than ``k``
+younger weak dominators; each retained element tracks its younger-
+dominator count ``j``.
+
+**Encoding (Theorem 3, generalised).**  Retained element ``e`` is in
+the k-skyband of the most recent ``n`` elements iff fewer than ``k``
+of its dominators lie inside the window.  Its ``j`` younger dominators
+always do; so ``e`` qualifies iff fewer than ``k - j`` of its *older*
+dominators do — i.e. iff its ``(k-j)``-th youngest older dominator
+precedes the window.  Encoding ``e`` as the half-open interval
+``(kappa(that dominator), kappa(e)]`` (0 when it does not exist) turns
+the query into the same **stabbing query** at ``M - n + 1``.
+
+Why older-dominator ranks computed against ``R_N^k`` are exact even
+though pruned elements also dominate: if a pruned ``x`` dominates
+``e``, then ``x``'s ``>= k`` younger dominators transitively dominate
+``e`` and are younger than ``x`` — so the ``k`` *youngest* older
+dominators of ``e`` can never be pruned elements, and the top-``k``
+best-first search over the retained R-tree returns the true list.
+
+Unlike Algorithm 1, expiry needs **no re-rooting**: thresholds are raw
+positions, and a stab point ``M - n + 1 >= M - N + 1`` always clears an
+expired dominator's position, so intervals age out of relevance by
+themselves; per arrival only the dominated elements' intervals move.
+
+Tie convention matches the rest of the library (DESIGN.md §7): a
+*younger* exact duplicate counts as a dominator (so old copies fade as
+new ones arrive) while an *older* duplicate does not count against the
+newcomer — i.e. an element is reported when fewer than ``k`` in-window
+elements strictly dominate it or duplicate it more recently.  For
+``k = 1`` this engine reproduces :class:`~repro.core.nofn.NofNSkyline`
+exactly (property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.element import StreamElement
+from repro.core.stats import EngineStats
+from repro.exceptions import InvalidWindowError
+from repro.structures.interval_tree import IntervalHandle, IntervalTree
+from repro.structures.labelset import LabelSet
+from repro.structures.rtree import RTree
+
+
+class _BandRecord:
+    """Book-keeping for one element of ``R_N^k``."""
+
+    __slots__ = ("element", "younger", "older_doms", "handle")
+
+    def __init__(self, element: StreamElement) -> None:
+        self.element = element
+        #: Number of younger weak dominators seen so far (< k).
+        self.younger = 0
+        #: kappas of the youngest older weak dominators, youngest first
+        #: (at most k entries; computed exactly on arrival).
+        self.older_doms: List[int] = []
+        self.handle: Optional[IntervalHandle] = None
+
+
+class KSkybandEngine:
+    """Sliding-window engine answering all n-of-N k-skyband queries.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of the stream's value vectors.
+    capacity:
+        ``N`` — the window size; queries may use any ``n <= N``.
+    k:
+        Band depth: report elements dominated by fewer than ``k``
+        in-window elements.  ``k = 1`` is the skyline.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        capacity: int,
+        k: int,
+        rtree_max_entries: int = 12,
+        rtree_min_entries: int = 4,
+    ) -> None:
+        if capacity < 1:
+            raise InvalidWindowError(f"capacity must be >= 1, got {capacity}")
+        if dim < 1:
+            raise ValueError(f"dimension must be >= 1, got {dim}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.dim = dim
+        self.capacity = capacity
+        self.k = k
+        self._m = 0
+        self._records: Dict[int, _BandRecord] = {}
+        self._labels: LabelSet[_BandRecord] = LabelSet()
+        self._intervals: IntervalTree[_BandRecord] = IntervalTree()
+        self._rtree = RTree(
+            dim, max_entries=rtree_max_entries, min_entries=rtree_min_entries
+        )
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def append(self, values: Sequence[float], payload: Any = None) -> StreamElement:
+        """Ingest one stream element; return it."""
+        self._m += 1
+        element = StreamElement(values, self._m, payload)
+
+        # Expiry: drop retained elements that left the window.  Their
+        # positions fall below every admissible stab point, so nobody
+        # else's interval needs touching.
+        threshold = self._m - self.capacity + 1
+        expired = 0
+        while self._labels:
+            oldest_kappa, oldest = self._labels.oldest()
+            if oldest_kappa >= threshold:
+                break
+            self._discard(oldest)
+            expired += 1
+
+        # The newcomer's exact top-k older *strict* dominators, computed
+        # BEFORE this arrival's pruning: an element pruned by this very
+        # arrival counts the newcomer among its k younger dominators, so
+        # it has only k-1 older witnesses and must still be visible here
+        # (the module-doc argument covers elements pruned on *earlier*
+        # arrivals only).  Older exact duplicates are skipped — they do
+        # not count against the newcomer under the youngest-copy tie
+        # convention (which is what makes k = 1 coincide exactly with
+        # NofNSkyline).
+        older_doms: List[int] = []
+        bound: Optional[int] = None
+        while len(older_doms) < self.k:
+            entry = self._rtree.max_kappa_dominator(
+                element.values, kappa_below=bound
+            )
+            if entry is None:
+                break
+            bound = entry.kappa
+            if entry.point != element.values:
+                older_doms.append(entry.kappa)
+
+        # Dominated elements gain one younger dominator each; those
+        # reaching k are pruned (generalised Theorem 1).
+        demoted = 0
+        for entry in self._rtree.report_dominated(element.values):
+            record: _BandRecord = entry.data
+            record.younger += 1
+            if record.younger >= self.k:
+                self._rtree.delete(record.element.kappa)
+                self._discard(record)
+                demoted += 1
+            else:
+                self._reseat(record)
+
+        record = _BandRecord(element)
+        record.older_doms = older_doms
+        record.handle = self._intervals.insert(
+            float(self._threshold_kappa(record)), float(element.kappa), record
+        )
+        self._rtree.insert(element.values, element.kappa, record)
+        self._labels.append(element.kappa, record)
+        self._records[element.kappa] = record
+
+        self.stats.record_arrival(
+            expired=expired, dominated=demoted, rn_size=len(self._records)
+        )
+        return element
+
+    def _threshold_kappa(self, record: _BandRecord) -> int:
+        """Position of the dominator whose window-exit admits ``record``.
+
+        The ``(k - younger)``-th youngest older dominator, or 0 when
+        fewer exist (the element qualifies for every window holding it).
+        """
+        need = self.k - record.younger
+        if len(record.older_doms) < need:
+            return 0
+        return record.older_doms[need - 1]
+
+    def _reseat(self, record: _BandRecord) -> None:
+        """Re-encode a record after its younger-dominator count grew."""
+        record.handle = self._intervals.replace(
+            record.handle,
+            float(self._threshold_kappa(record)),
+            float(record.element.kappa),
+        )
+
+    def _discard(self, record: _BandRecord) -> None:
+        kappa = record.element.kappa
+        self._intervals.remove(record.handle)
+        record.handle = None
+        self._labels.remove(kappa)
+        del self._records[kappa]
+        if kappa in self._rtree:
+            self._rtree.delete(kappa)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, n: int) -> List[StreamElement]:
+        """The k-skyband of the most recent ``n`` elements, sorted by
+        ``kappa``.
+
+        Raises
+        ------
+        InvalidWindowError
+            If ``n`` is not in ``[1, capacity]``.
+        """
+        if not 1 <= n <= self.capacity:
+            raise InvalidWindowError(
+                f"n must be in [1, {self.capacity}], got {n}"
+            )
+        if self._m == 0:
+            self.stats.record_query(0)
+            return []
+        stab = max(1, self._m - n + 1)
+        records = self._intervals.stab(stab)
+        records.sort(key=lambda r: r.element.kappa)
+        self.stats.record_query(len(records))
+        return [r.element for r in records]
+
+    def skyband(self) -> List[StreamElement]:
+        """The k-skyband of the whole window."""
+        return self.query(self.capacity)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def seen_so_far(self) -> int:
+        """``M`` — number of elements ingested."""
+        return self._m
+
+    @property
+    def retained_size(self) -> int:
+        """``|R_N^k|`` — elements with fewer than k younger dominators."""
+        return len(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # Validation (used by the test suite)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert cross-structure consistency."""
+        assert len(self._records) == len(self._labels) == len(self._rtree)
+        assert len(self._intervals) == len(self._records)
+        self._rtree.check_invariants()
+        self._intervals.check_invariants()
+        self._labels.check_invariants()
+        for kappa, record in self._records.items():
+            assert record.element.kappa == kappa
+            assert 0 <= record.younger < self.k
+            assert len(record.older_doms) <= self.k
+            assert record.older_doms == sorted(record.older_doms, reverse=True)
+            interval = record.handle.interval
+            assert interval.high == float(kappa)
+            assert interval.low == float(self._threshold_kappa(record))

@@ -1,0 +1,77 @@
+"""Lightweight engine telemetry.
+
+The performance study (section 5) reports per-element maintenance cost,
+``|R_N|`` sizes (Figure 4) and query workload mixes.  The engines keep
+these counters so the benchmark harness — and downstream users sizing a
+deployment — can read them without instrumenting the hot path
+themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EngineStats:
+    """Counters accumulated by a window-skyline engine."""
+
+    arrivals: int = 0
+    expiries: int = 0
+    dominated_removed: int = 0
+    queries: int = 0
+    query_results: int = 0
+    rn_size_peak: int = 0
+    rn_size_sum: int = 0
+
+    def record_arrival(self, expired: int, dominated: int, rn_size: int) -> None:
+        """Account one maintenance step."""
+        self.arrivals += 1
+        self.expiries += expired
+        self.dominated_removed += dominated
+        if rn_size > self.rn_size_peak:
+            self.rn_size_peak = rn_size
+        self.rn_size_sum += rn_size
+
+    def record_query(self, result_size: int) -> None:
+        """Account one ad-hoc query."""
+        self.queries += 1
+        self.query_results += result_size
+
+    @property
+    def rn_size_mean(self) -> float:
+        """Mean ``|R_N|`` observed after each arrival (0 when idle)."""
+        if self.arrivals == 0:
+            return 0.0
+        return self.rn_size_sum / self.arrivals
+
+    @property
+    def mean_result_size(self) -> float:
+        """Mean skyline size per query (0 when no queries ran)."""
+        if self.queries == 0:
+            return 0.0
+        return self.query_results / self.queries
+
+    def snapshot_raw(self) -> dict:
+        """The raw counters, for persistence round-trips."""
+        return {
+            "arrivals": self.arrivals,
+            "expiries": self.expiries,
+            "dominated_removed": self.dominated_removed,
+            "queries": self.queries,
+            "query_results": self.query_results,
+            "rn_size_peak": self.rn_size_peak,
+            "rn_size_sum": self.rn_size_sum,
+        }
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy for reporting."""
+        return {
+            "arrivals": self.arrivals,
+            "expiries": self.expiries,
+            "dominated_removed": self.dominated_removed,
+            "queries": self.queries,
+            "rn_size_peak": self.rn_size_peak,
+            "rn_size_mean": self.rn_size_mean,
+            "mean_result_size": self.mean_result_size,
+        }

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` et al.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class DimensionMismatchError(ReproError):
+    """A point's dimensionality does not match the structure it is used with."""
+
+    def __init__(self, expected: int, actual: int) -> None:
+        super().__init__(
+            f"dimension mismatch: structure is {expected}-dimensional, "
+            f"got a {actual}-dimensional point"
+        )
+        self.expected = expected
+        self.actual = actual
+
+
+class InvalidWindowError(ReproError):
+    """A window size or query range is outside its legal domain."""
+
+
+class InvalidIntervalError(ReproError):
+    """An interval's endpoints are inconsistent (requires ``low < high``)."""
+
+
+class DuplicateKeyError(ReproError):
+    """A key that must be unique was inserted twice."""
+
+
+class KeyNotFoundError(ReproError):
+    """A key expected to be present in a structure is missing."""
+
+
+class EmptyStructureError(ReproError):
+    """An operation that needs a non-empty structure was called on an empty one."""
+
+
+class QueryNotRegisteredError(ReproError):
+    """A continuous query handle does not belong to this manager."""
+
+
+class StreamExhaustedError(ReproError):
+    """A finite stream was asked for more elements than it contains."""

@@ -1,0 +1,30 @@
+"""Synthetic stream substrates for the evaluation (paper section 5)."""
+
+from repro.streams.generators import (
+    anticorrelated_stream,
+    correlated_stream,
+    distributions,
+    independent_stream,
+    make_stream,
+    materialize,
+)
+from repro.streams.snapshots import (
+    random_n1n2_pairs,
+    random_n_values,
+    snapshot_positions,
+)
+from repro.streams.stream import DataStream, feed
+
+__all__ = [
+    "DataStream",
+    "anticorrelated_stream",
+    "correlated_stream",
+    "distributions",
+    "feed",
+    "independent_stream",
+    "make_stream",
+    "materialize",
+    "random_n1n2_pairs",
+    "random_n_values",
+    "snapshot_positions",
+]

@@ -1,0 +1,75 @@
+"""Snapshot sampling for the evaluation harness.
+
+The paper's query experiments (sections 5.1 and 5.5) "randomly take
+1000 snapshots of the most recent N elements" and evaluate queries at
+each.  This module provides the deterministic sampling utilities the
+benchmark harness uses to pick snapshot positions and query parameters
+exactly the way the paper describes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+
+def snapshot_positions(
+    stream_length: int, window: int, count: int, seed: int = 0
+) -> List[int]:
+    """``count`` sorted stream positions at which to snapshot.
+
+    Positions lie in ``[window, stream_length]`` so that each snapshot
+    has a full window behind it (the paper reports "only the
+    performance from the 10^6+1-th element" for the same reason).
+    Sampling is with replacement when ``count`` exceeds the candidate
+    range; otherwise without.
+    """
+    if window > stream_length:
+        raise ValueError(
+            f"window ({window}) exceeds stream length ({stream_length})"
+        )
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    rng = random.Random(seed)
+    lo, hi = window, stream_length
+    span = hi - lo + 1
+    if count <= span:
+        positions = rng.sample(range(lo, hi + 1), count)
+    else:
+        positions = [rng.randint(lo, hi) for _ in range(count)]
+    positions.sort()
+    return positions
+
+
+def random_n_values(
+    window: int, count: int, seed: int = 0, minimum: int = 1
+) -> List[int]:
+    """``count`` random ``n`` values in ``[minimum, window]`` for
+    n-of-N queries (paper section 5.1 draws 1000 ``n`` values from
+    ``[1000, 10^6]``)."""
+    if not 1 <= minimum <= window:
+        raise ValueError(
+            f"need 1 <= minimum <= window, got minimum={minimum}, "
+            f"window={window}"
+        )
+    rng = random.Random(seed)
+    return [rng.randint(minimum, window) for _ in range(count)]
+
+
+def random_n1n2_pairs(
+    window: int, count: int, min_gap: int = 0, seed: int = 0
+) -> List[Tuple[int, int]]:
+    """``count`` random ``(n1, n2)`` pairs with ``n2 - n1 >= min_gap``
+    (paper section 5.5 uses ``n2 - n1 >= 500``)."""
+    if min_gap < 0 or min_gap >= window:
+        raise ValueError(
+            f"need 0 <= min_gap < window, got min_gap={min_gap}, "
+            f"window={window}"
+        )
+    rng = random.Random(seed)
+    pairs = []
+    for _ in range(count):
+        n1 = rng.randint(1, window - min_gap)
+        n2 = rng.randint(n1 + min_gap, window)
+        pairs.append((n1, n2))
+    return pairs

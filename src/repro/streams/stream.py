@@ -1,0 +1,127 @@
+"""Stream replay harness.
+
+Wraps a point source into a :class:`DataStream` that engines and
+benchmarks consume: it tracks arrival positions, supports bounded
+reads, and can replay itself deterministically (the same generator
+family and seed always produce the same stream — the property the
+paper's evaluation relies on when feeding multiple algorithms the same
+data).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import StreamExhaustedError
+from repro.streams.generators import make_stream
+
+Point = Tuple[float, ...]
+
+
+class DataStream:
+    """A positioned, replayable stream of points.
+
+    Parameters
+    ----------
+    source:
+        A factory returning a fresh iterator of points each time it is
+        called — this is what makes the stream replayable.
+    dim:
+        Dimensionality of the points (validated on read).
+    """
+
+    def __init__(self, source: Callable[[], Iterable[Sequence[float]]], dim: int) -> None:
+        if dim < 1:
+            raise ValueError(f"dimension must be >= 1, got {dim}")
+        self._source = source
+        self.dim = dim
+        self._iterator: Optional[Iterator[Sequence[float]]] = None
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def synthetic(
+        cls, distribution: str, dim: int, count: int, seed: int = 0
+    ) -> "DataStream":
+        """A stream backed by one of the benchmark generator families."""
+        return cls(
+            lambda: make_stream(distribution, dim, count, seed), dim
+        )
+
+    @classmethod
+    def from_points(cls, points: Sequence[Sequence[float]], dim: Optional[int] = None) -> "DataStream":
+        """A stream replaying a fixed point list."""
+        if dim is None:
+            if not points:
+                raise ValueError("cannot infer dimension from an empty list")
+            dim = len(points[0])
+        frozen = [tuple(float(v) for v in p) for p in points]
+        return cls(lambda: iter(frozen), dim)
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+
+    @property
+    def position(self) -> int:
+        """Number of points read since the last restart."""
+        return self._position
+
+    def restart(self) -> None:
+        """Rewind to the beginning (a fresh iterator from the source)."""
+        self._iterator = None
+        self._position = 0
+
+    def next(self) -> Point:
+        """The next point.
+
+        Raises
+        ------
+        StreamExhaustedError
+            When the underlying source is finite and consumed.
+        """
+        if self._iterator is None:
+            self._iterator = iter(self._source())
+        try:
+            raw = next(self._iterator)
+        except StopIteration:
+            raise StreamExhaustedError(
+                f"stream exhausted after {self._position} points"
+            ) from None
+        point = tuple(float(v) for v in raw)
+        if len(point) != self.dim:
+            raise ValueError(
+                f"stream produced a {len(point)}-dimensional point; "
+                f"expected {self.dim}"
+            )
+        self._position += 1
+        return point
+
+    def take(self, count: int) -> List[Point]:
+        """The next ``count`` points as a list."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return [self.next() for _ in range(count)]
+
+    def __iter__(self) -> Iterator[Point]:
+        while True:
+            try:
+                yield self.next()
+            except StreamExhaustedError:
+                return
+
+
+def feed(engine, stream: Iterable[Sequence[float]], limit: Optional[int] = None) -> int:
+    """Push up to ``limit`` points from ``stream`` into ``engine``
+    (anything with an ``append(values)`` method); return how many were
+    fed."""
+    fed = 0
+    for point in stream:
+        if limit is not None and fed >= limit:
+            break
+        engine.append(point)
+        fed += 1
+    return fed

@@ -1,0 +1,263 @@
+"""Indexed binary heaps with delete-by-key.
+
+The paper needs two kinds of priority queues:
+
+* a **min-heap on kappa** over the current result set of a continuous
+  n-of-N query (the *trigger list* of Algorithm 2) — elements must also
+  be deletable from the middle when they are dominated by a newcomer;
+* a **max-heap on the m_v augmentation** for the best-first critical
+  dominator search on the R-tree (section 3.3).
+
+Python's :mod:`heapq` offers neither deletion by key nor a max variant,
+so this module implements a classic array-backed binary heap with a
+position index (``key -> slot``), supporting ``push``, ``pop``,
+``peek``, ``delete`` and ``update_priority`` in ``O(log n)``.
+
+Keys must be hashable and unique within one heap; priorities must be
+mutually comparable.  Ties are broken by insertion order so iteration
+is deterministic, which keeps the engines reproducible under test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterator, List, Tuple, TypeVar
+
+from repro.exceptions import DuplicateKeyError, EmptyStructureError, KeyNotFoundError
+
+K = TypeVar("K", bound=Hashable)
+
+
+class IndexedHeap(Generic[K]):
+    """A binary min-heap keyed by unique hashable keys.
+
+    Each entry is a ``(priority, key)`` pair; the heap orders entries by
+    ``priority`` (then by insertion sequence for determinism).  A
+    side-index maps keys to array slots so that arbitrary entries can be
+    removed or re-prioritised in logarithmic time.
+
+    Use :class:`MaxIndexedHeap` when the *largest* priority should be on
+    top.
+    """
+
+    def __init__(self) -> None:
+        # Each slot holds (priority, tiebreak, key).
+        self._entries: List[Tuple[object, int, K]] = []
+        self._index: Dict[K, int] = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def push(self, key: K, priority) -> None:
+        """Insert ``key`` with ``priority``.
+
+        Raises
+        ------
+        DuplicateKeyError
+            If ``key`` is already present.
+        """
+        if key in self._index:
+            raise DuplicateKeyError(f"key already in heap: {key!r}")
+        self._entries.append((self._order(priority), self._seq, key))
+        self._seq += 1
+        slot = len(self._entries) - 1
+        self._index[key] = slot
+        self._sift_up(slot)
+
+    def pop(self) -> Tuple[K, object]:
+        """Remove and return ``(key, priority)`` of the top entry."""
+        if not self._entries:
+            raise EmptyStructureError("pop from an empty heap")
+        priority, _, key = self._entries[0]
+        self._remove_slot(0)
+        return key, self._unorder(priority)
+
+    def peek(self) -> Tuple[K, object]:
+        """Return ``(key, priority)`` of the top entry without removing it."""
+        if not self._entries:
+            raise EmptyStructureError("peek at an empty heap")
+        priority, _, key = self._entries[0]
+        return key, self._unorder(priority)
+
+    def delete(self, key: K) -> None:
+        """Remove ``key`` from anywhere in the heap.
+
+        Raises
+        ------
+        KeyNotFoundError
+            If ``key`` is not present.
+        """
+        slot = self._index.get(key)
+        if slot is None:
+            raise KeyNotFoundError(f"key not in heap: {key!r}")
+        self._remove_slot(slot)
+
+    def discard(self, key: K) -> bool:
+        """Remove ``key`` if present; return whether it was removed."""
+        slot = self._index.get(key)
+        if slot is None:
+            return False
+        self._remove_slot(slot)
+        return True
+
+    def update_priority(self, key: K, priority) -> None:
+        """Change the priority of an existing ``key``."""
+        slot = self._index.get(key)
+        if slot is None:
+            raise KeyNotFoundError(f"key not in heap: {key!r}")
+        _, tiebreak, _ = self._entries[slot]
+        self._entries[slot] = (self._order(priority), tiebreak, key)
+        # The entry may need to move either way.
+        if not self._sift_up(slot):
+            self._sift_down(slot)
+
+    def priority_of(self, key: K):
+        """Return the current priority of ``key``."""
+        slot = self._index.get(key)
+        if slot is None:
+            raise KeyNotFoundError(f"key not in heap: {key!r}")
+        return self._unorder(self._entries[slot][0])
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._index
+
+    def __iter__(self) -> Iterator[K]:
+        """Iterate over keys in arbitrary (heap-array) order."""
+        return iter(list(self._index))
+
+    def keys(self) -> List[K]:
+        """Keys currently in the heap, in heap-array order."""
+        return [key for _, _, key in self._entries]
+
+    def check_invariants(self) -> None:
+        """Verify the heap property and index consistency (for tests)."""
+        for slot in range(1, len(self._entries)):
+            parent = (slot - 1) // 2
+            assert self._entries[parent][:2] <= self._entries[slot][:2], (
+                f"heap property violated at slot {slot}"
+            )
+        assert len(self._index) == len(self._entries)
+        for key, slot in self._index.items():
+            assert self._entries[slot][2] == key, f"stale index for {key!r}"
+
+    # ------------------------------------------------------------------
+    # Ordering hooks (overridden by the max variant)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _order(priority):
+        return priority
+
+    @staticmethod
+    def _unorder(stored):
+        return stored
+
+    # ------------------------------------------------------------------
+    # Internal array mechanics
+    # ------------------------------------------------------------------
+
+    def _remove_slot(self, slot: int) -> None:
+        last = len(self._entries) - 1
+        key = self._entries[slot][2]
+        del self._index[key]
+        if slot != last:
+            moved = self._entries[last]
+            self._entries[slot] = moved
+            self._index[moved[2]] = slot
+            self._entries.pop()
+            # The moved entry may need to travel either direction.
+            if not self._sift_up(slot):
+                self._sift_down(slot)
+        else:
+            self._entries.pop()
+
+    def _sift_up(self, slot: int) -> bool:
+        """Bubble the entry at ``slot`` up; return True if it moved."""
+        moved = False
+        entry = self._entries[slot]
+        while slot > 0:
+            parent = (slot - 1) // 2
+            if self._entries[parent][:2] <= entry[:2]:
+                break
+            self._entries[slot] = self._entries[parent]
+            self._index[self._entries[slot][2]] = slot
+            slot = parent
+            moved = True
+        if moved:
+            self._entries[slot] = entry
+            self._index[entry[2]] = slot
+        return moved
+
+    def _sift_down(self, slot: int) -> bool:
+        """Push the entry at ``slot`` down; return True if it moved."""
+        moved = False
+        size = len(self._entries)
+        entry = self._entries[slot]
+        while True:
+            child = 2 * slot + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and self._entries[right][:2] < self._entries[child][:2]:
+                child = right
+            if entry[:2] <= self._entries[child][:2]:
+                break
+            self._entries[slot] = self._entries[child]
+            self._index[self._entries[slot][2]] = slot
+            slot = child
+            moved = True
+        if moved:
+            self._entries[slot] = entry
+            self._index[entry[2]] = slot
+        return moved
+
+
+class _Reversed:
+    """Wrapper inverting comparisons, used to derive a max-heap."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __le__(self, other: "_Reversed") -> bool:
+        return other.value <= self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.value == self.value
+
+    def __repr__(self) -> str:
+        return f"_Reversed({self.value!r})"
+
+
+class MaxIndexedHeap(IndexedHeap[K]):
+    """An :class:`IndexedHeap` whose top entry has the *largest* priority."""
+
+    @staticmethod
+    def _order(priority):
+        return _Reversed(priority)
+
+    @staticmethod
+    def _unorder(stored):
+        return stored.value
+
+    def check_invariants(self) -> None:  # pragma: no cover - thin override
+        super().check_invariants()
+
+
+class MinIndexedHeap(IndexedHeap[K]):
+    """Alias emphasising min-ordering at call sites (trigger lists)."""

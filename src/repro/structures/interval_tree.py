@@ -1,0 +1,204 @@
+"""A dynamic interval tree answering *stabbing queries*.
+
+Section 2.3 of the paper treats stabbing-query processing as a black
+box: given ``m`` intervals and a stabbing point ``p``, report every
+interval containing ``p``, with ``O(log m)`` amortised updates.  The
+encoding scheme of section 3.2 stores the half-open interval
+``(kappa(e'), kappa(e)]`` for every critical-dominance edge and stabs
+with ``M - n + 1`` to answer an n-of-N query.
+
+This module implements the black box as a CLRS-style *augmented*
+red-black tree (built on :mod:`repro.structures.rbtree`): intervals are
+keyed by ``(low, high, seq)`` (the sequence number admits duplicate
+endpoints), and every node carries the maximum ``high`` within its
+subtree.  A stab at ``t`` descends only into subtrees whose max-high
+reaches ``t`` and prunes right subtrees whose lows already equal or
+exceed ``t``, giving output-sensitive ``O(min(m, k log m) + log m)``
+reporting — the same update complexity as the Edelsbrunner/Mehlhorn
+structure the paper cites, and indistinguishable at reproduction scale
+(see DESIGN.md §4).
+
+Intervals are half-open ``(low, high]`` — exactly the shape produced by
+the paper's encoding: ``low < t <= high`` means "stabbed".
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, List, TypeVar
+
+from repro.exceptions import InvalidIntervalError
+from repro.structures.rbtree import NIL, RBNode, RedBlackTree
+
+D = TypeVar("D")
+
+#: Aggregate value used for empty subtrees; compares below every high.
+_NEG_INF = float("-inf")
+
+
+class Interval(Generic[D]):
+    """A half-open interval ``(low, high]`` carrying an opaque payload.
+
+    ``high`` may be ``math.inf`` (used by the (n1,n2)-of-N structures
+    for live elements whose backward critical ancestor does not exist).
+    """
+
+    __slots__ = ("low", "high", "data")
+
+    def __init__(self, low: float, high: float, data: D) -> None:
+        if not low < high:
+            raise InvalidIntervalError(
+                f"half-open interval needs low < high, got ({low}, {high}]"
+            )
+        self.low = low
+        self.high = high
+        self.data = data
+
+    def contains(self, t: float) -> bool:
+        """Whether ``t`` stabs this interval: ``low < t <= high``."""
+        return self.low < t <= self.high
+
+    def __repr__(self) -> str:
+        return f"Interval(({self.low}, {self.high}], data={self.data!r})"
+
+
+class IntervalHandle(Generic[D]):
+    """An opaque handle returned by :meth:`IntervalTree.insert`.
+
+    Handles stay valid until the interval is removed, letting the n-of-N
+    engine maintain the constant-time links between interval endpoints
+    and the label set (paper, Figure 6).
+    """
+
+    __slots__ = ("interval", "_node")
+
+    def __init__(self, interval: Interval[D], node: RBNode) -> None:
+        self.interval = interval
+        self._node = node
+
+
+def _augment_max_high(node: RBNode) -> None:
+    """Recompute a node's subtree max-high from its children."""
+    best = node.value.high
+    left = node.left
+    if left is not NIL and left.aggregate > best:
+        best = left.aggregate
+    right = node.right
+    if right is not NIL and right.aggregate > best:
+        best = right.aggregate
+    node.aggregate = best
+
+
+class IntervalTree(Generic[D]):
+    """Dynamic set of half-open intervals supporting stabbing queries."""
+
+    def __init__(self) -> None:
+        self._tree: RedBlackTree = RedBlackTree(augment=_augment_max_high)
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def insert(self, low: float, high: float, data: D) -> IntervalHandle[D]:
+        """Insert ``(low, high]`` with payload ``data``; return a handle."""
+        interval = Interval(low, high, data)
+        key = (low, high, self._seq)
+        self._seq += 1
+        node = self._tree.insert(key, interval)
+        return IntervalHandle(interval, node)
+
+    def remove(self, handle: IntervalHandle[D]) -> None:
+        """Remove the interval behind ``handle``.
+
+        The handle must be live (obtained from :meth:`insert` and not
+        yet removed); double removal is a programming error.
+        """
+        self._tree.delete_node(handle._node)
+        handle._node = NIL
+
+    def replace(
+        self, handle: IntervalHandle[D], low: float, high: float
+    ) -> IntervalHandle[D]:
+        """Atomically swap an interval's endpoints, keeping its payload.
+
+        Used by Algorithm 1 line 6: on expiry of a root's parent, the
+        child's interval ``(kappa(parent), kappa(e)]`` becomes
+        ``(0, kappa(e)]``.
+        """
+        data = handle.interval.data
+        self.remove(handle)
+        return self.insert(low, high, data)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def stab(self, t: float) -> List[D]:
+        """Payloads of every interval with ``low < t <= high``.
+
+        Output order follows the tree's depth-first traversal: it is
+        deterministic for a given update history but not sorted; callers
+        that need sorted results (the engines sort by ``kappa``) order
+        the output themselves.
+        """
+        out: List[D] = []
+        self._stab_node(self._tree.root, t, out)
+        return out
+
+    def stab_intervals(self, t: float) -> List[Interval[D]]:
+        """Like :meth:`stab` but returning the :class:`Interval` objects."""
+        out: List[Interval[D]] = []
+        self._stab_node(self._tree.root, t, out, whole=True)
+        return out
+
+    def _stab_node(self, node: RBNode, t: float, out: list, whole: bool = False) -> None:
+        # Iterative DFS: recursion depth could hit Python's limit for
+        # large windows even on a balanced tree's worst paths.
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current is NIL or current.aggregate < t:
+                continue
+            interval: Interval[D] = current.value
+            if interval.low < t:
+                if t <= interval.high:
+                    out.append(interval if whole else interval.data)
+                # Right keys have low >= this low; they may still be < t.
+                stack.append(current.right)
+            # Left subtree always has lows <= this low; worth visiting
+            # whenever its max-high reaches t (checked on pop).
+            stack.append(current.left)
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def __bool__(self) -> bool:
+        return bool(self._tree)
+
+    def intervals(self) -> Iterator[Interval[D]]:
+        """Iterate intervals in ``(low, high, insertion)`` order."""
+        for _, interval in self._tree.items():
+            yield interval
+
+    # ------------------------------------------------------------------
+    # Validation (used by the test suite)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert red-black properties and max-high aggregates."""
+        self._tree.check_invariants()
+        self._check_aggregate(self._tree.root)
+
+    def _check_aggregate(self, node: RBNode) -> float:
+        if node is NIL:
+            return _NEG_INF
+        expected = max(
+            node.value.high,
+            self._check_aggregate(node.left),
+            self._check_aggregate(node.right),
+        )
+        assert node.aggregate == expected, (
+            f"aggregate mismatch at {node.key!r}: "
+            f"{node.aggregate} != {expected}"
+        )
+        return expected

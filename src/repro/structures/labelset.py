@@ -1,0 +1,184 @@
+"""The ordered label set of Figures 6 and 11.
+
+The paper stores the arrival labels ``kappa(e)`` of the elements in
+``R_N`` "according to an increasing ordering", with constant-time links
+between each label, its element in the R-tree, and the interval(s) whose
+endpoints carry it.  Because a data stream hands labels to the structure
+in strictly increasing order — and deletions may strike anywhere — the
+right substrate is a doubly-linked list threaded through a hash map:
+
+* ``append(kappa, payload)``: O(1) (labels arrive in increasing order);
+* ``remove(kappa)``: O(1);
+* ``oldest`` / ``youngest``: O(1) (expiry checks look at the head);
+* ``payload(kappa)`` and membership: O(1).
+
+The payload is opaque to this module; the n-of-N engine stores its
+per-element record there, which realises the paper's 1-1 links between
+the label set, the R-tree entries and the interval-tree entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, Optional, Tuple, TypeVar
+
+from repro.exceptions import (
+    DuplicateKeyError,
+    EmptyStructureError,
+    KeyNotFoundError,
+)
+
+P = TypeVar("P")
+
+
+class _LabelNode(Generic[P]):
+    __slots__ = ("kappa", "payload", "prev", "next")
+
+    def __init__(self, kappa: int, payload: P) -> None:
+        self.kappa = kappa
+        self.payload = payload
+        self.prev: Optional["_LabelNode[P]"] = None
+        self.next: Optional["_LabelNode[P]"] = None
+
+
+class LabelSet(Generic[P]):
+    """Ordered set of arrival labels with O(1) append/remove/min.
+
+    Labels must be appended in strictly increasing order, mirroring
+    stream arrival; any label may be removed at any time.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, _LabelNode[P]] = {}
+        self._head: Optional[_LabelNode[P]] = None
+        self._tail: Optional[_LabelNode[P]] = None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def append(self, kappa: int, payload: P) -> None:
+        """Append ``kappa`` (larger than any label ever stored).
+
+        Raises
+        ------
+        DuplicateKeyError
+            If ``kappa`` is already present.
+        ValueError
+            If ``kappa`` does not exceed the current youngest label.
+        """
+        if self._tail is not None and kappa <= self._tail.kappa:
+            raise ValueError(
+                f"labels must arrive in increasing order: "
+                f"{kappa} <= {self._tail.kappa}"
+            )
+        if kappa in self._nodes:  # pragma: no cover - defensive; the
+            # monotonicity check above already rejects re-use while any
+            # larger-or-equal label is present.
+            raise DuplicateKeyError(f"label already present: {kappa}")
+        node = _LabelNode(kappa, payload)
+        self._nodes[kappa] = node
+        if self._tail is None:
+            self._head = self._tail = node
+        else:
+            node.prev = self._tail
+            self._tail.next = node
+            self._tail = node
+
+    def remove(self, kappa: int) -> P:
+        """Remove ``kappa``; return its payload.
+
+        Raises
+        ------
+        KeyNotFoundError
+            If ``kappa`` is absent.
+        """
+        node = self._nodes.pop(kappa, None)
+        if node is None:
+            raise KeyNotFoundError(f"label not present: {kappa}")
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self._head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self._tail = node.prev
+        node.prev = node.next = None
+        return node.payload
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def oldest(self) -> Tuple[int, P]:
+        """``(kappa, payload)`` of the smallest label.
+
+        Raises
+        ------
+        EmptyStructureError
+            If the set is empty.
+        """
+        if self._head is None:
+            raise EmptyStructureError("oldest() on an empty label set")
+        return self._head.kappa, self._head.payload
+
+    def youngest(self) -> Tuple[int, P]:
+        """``(kappa, payload)`` of the largest label."""
+        if self._tail is None:
+            raise EmptyStructureError("youngest() on an empty label set")
+        return self._tail.kappa, self._tail.payload
+
+    def payload(self, kappa: int) -> P:
+        """The payload attached to ``kappa``."""
+        node = self._nodes.get(kappa)
+        if node is None:
+            raise KeyNotFoundError(f"label not present: {kappa}")
+        return node.payload
+
+    def get(self, kappa: int, default: Optional[P] = None) -> Optional[P]:
+        """The payload attached to ``kappa``, or ``default``."""
+        node = self._nodes.get(kappa)
+        return default if node is None else node.payload
+
+    def __contains__(self, kappa: int) -> bool:
+        return kappa in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __bool__(self) -> bool:
+        return bool(self._nodes)
+
+    def __iter__(self) -> Iterator[int]:
+        """Yield labels in increasing order."""
+        node = self._head
+        while node is not None:
+            yield node.kappa
+            node = node.next
+
+    def items(self) -> Iterator[Tuple[int, P]]:
+        """Yield ``(kappa, payload)`` in increasing label order."""
+        node = self._head
+        while node is not None:
+            yield node.kappa, node.payload
+            node = node.next
+
+    # ------------------------------------------------------------------
+    # Validation (used by the test suite)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert list/map consistency and strict ordering."""
+        seen = 0
+        node = self._head
+        prev = None
+        while node is not None:
+            assert self._nodes.get(node.kappa) is node, "map/list mismatch"
+            if prev is not None:
+                assert prev.kappa < node.kappa, "ordering violated"
+                assert node.prev is prev, "broken back-link"
+            seen += 1
+            prev = node
+            node = node.next
+        assert prev is self._tail or (prev is None and self._tail is None)
+        assert seen == len(self._nodes), "node count mismatch"

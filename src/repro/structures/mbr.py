@@ -1,0 +1,224 @@
+"""Minimum bounding rectangles (MBRs) for the in-memory R-tree.
+
+An MBR is an axis-aligned box in ``d`` dimensions, stored as two tuples:
+the *lower* corner (coordinate-wise minimum) and the *upper* corner
+(coordinate-wise maximum).  Besides the classic R-tree box algebra
+(union, enlargement, containment, overlap) this module implements the
+three dominance-oriented region tests from Figure 7 of the paper:
+
+``may_contain_dominated(q)``
+    The box's *candidate region* test for depth-first dominance
+    reporting: can the box contain a point that the query point ``q``
+    (weakly) dominates?  True iff ``q_i <= upper_i`` on every axis.
+
+``fully_dominated_by(q)``
+    The *l-corner* test: does ``q`` dominate *every* point of the box?
+    True iff ``q_i <= lower_i`` on every axis; in that case the whole
+    subtree can be harvested without further inspection.
+
+``may_contain_dominator(q)`` / ``fully_dominates(q)``
+    The symmetric tests used by the best-first critical-dominator
+    search: the box can contain a dominator of ``q`` iff
+    ``lower_i <= q_i`` everywhere, and the *r-corner* case — every
+    point of the box dominates ``q`` — holds iff ``upper_i <= q_i``
+    everywhere.
+
+Dominance here is *weak* (``<=`` on every axis); see
+:mod:`repro.core.dominance` for the rationale.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.exceptions import DimensionMismatchError
+
+Point = Tuple[float, ...]
+
+
+class MBR:
+    """An axis-aligned minimum bounding rectangle in ``d`` dimensions.
+
+    Instances are immutable; all combining operations return new boxes.
+
+    Parameters
+    ----------
+    lower:
+        Coordinate-wise minimum corner.
+    upper:
+        Coordinate-wise maximum corner.  Must satisfy
+        ``lower[i] <= upper[i]`` on every axis.
+    """
+
+    __slots__ = ("lower", "upper")
+
+    def __init__(self, lower: Sequence[float], upper: Sequence[float]) -> None:
+        if len(lower) != len(upper):
+            raise DimensionMismatchError(len(lower), len(upper))
+        lo = tuple(float(v) for v in lower)
+        hi = tuple(float(v) for v in upper)
+        for axis, (a, b) in enumerate(zip(lo, hi)):
+            if a > b:
+                raise ValueError(
+                    f"invalid MBR: lower[{axis}]={a} > upper[{axis}]={b}"
+                )
+        self.lower: Point = lo
+        self.upper: Point = hi
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_point(cls, point: Sequence[float]) -> "MBR":
+        """A degenerate box covering exactly one point."""
+        return cls(point, point)
+
+    @classmethod
+    def union_of(cls, boxes: Iterable["MBR"]) -> "MBR":
+        """The tightest box enclosing every box in ``boxes``.
+
+        Raises
+        ------
+        ValueError
+            If ``boxes`` is empty.
+        """
+        it = iter(boxes)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("union_of() needs at least one box") from None
+        lo = list(first.lower)
+        hi = list(first.upper)
+        for box in it:
+            for axis in range(len(lo)):
+                if box.lower[axis] < lo[axis]:
+                    lo[axis] = box.lower[axis]
+                if box.upper[axis] > hi[axis]:
+                    hi[axis] = box.upper[axis]
+        return cls(lo, hi)
+
+    # ------------------------------------------------------------------
+    # Basic geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Number of axes."""
+        return len(self.lower)
+
+    def margin(self) -> float:
+        """Sum of side lengths (the R*-tree "margin" metric)."""
+        return sum(b - a for a, b in zip(self.lower, self.upper))
+
+    def area(self) -> float:
+        """Product of side lengths (volume, in d dimensions)."""
+        result = 1.0
+        for a, b in zip(self.lower, self.upper):
+            result *= b - a
+        return result
+
+    def center(self) -> Point:
+        """Geometric centre of the box."""
+        return tuple((a + b) / 2.0 for a, b in zip(self.lower, self.upper))
+
+    def union(self, other: "MBR") -> "MBR":
+        """Tightest box enclosing both ``self`` and ``other``."""
+        self._check_dim(other.dim)
+        return MBR(
+            tuple(min(a, b) for a, b in zip(self.lower, other.lower)),
+            tuple(max(a, b) for a, b in zip(self.upper, other.upper)),
+        )
+
+    def extend_point(self, point: Sequence[float]) -> "MBR":
+        """Tightest box enclosing ``self`` and ``point``."""
+        self._check_dim(len(point))
+        return MBR(
+            tuple(min(a, p) for a, p in zip(self.lower, point)),
+            tuple(max(b, p) for b, p in zip(self.upper, point)),
+        )
+
+    def enlargement(self, other: "MBR") -> float:
+        """Area increase required for ``self`` to absorb ``other``."""
+        return self.union(other).area() - self.area()
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """Whether ``point`` lies inside the (closed) box."""
+        self._check_dim(len(point))
+        return all(
+            a <= p <= b for a, p, b in zip(self.lower, point, self.upper)
+        )
+
+    def contains_box(self, other: "MBR") -> bool:
+        """Whether ``other`` is entirely inside the (closed) box."""
+        self._check_dim(other.dim)
+        return all(
+            a <= c and d <= b
+            for a, b, c, d in zip(self.lower, self.upper, other.lower, other.upper)
+        )
+
+    def intersects(self, other: "MBR") -> bool:
+        """Whether the two closed boxes share at least one point."""
+        self._check_dim(other.dim)
+        return all(
+            a <= d and c <= b
+            for a, b, c, d in zip(self.lower, self.upper, other.lower, other.upper)
+        )
+
+    # ------------------------------------------------------------------
+    # Dominance-oriented region tests (paper, Figure 7)
+    # ------------------------------------------------------------------
+
+    def may_contain_dominated(self, q: Sequence[float]) -> bool:
+        """Candidate-region test for dominance *reporting* (Figure 7a).
+
+        True iff the box may contain a point weakly dominated by ``q``,
+        i.e. ``q`` is coordinate-wise ``<=`` the box's upper corner.
+        """
+        self._check_dim(len(q))
+        return all(qi <= hi for qi, hi in zip(q, self.upper))
+
+    def fully_dominated_by(self, q: Sequence[float]) -> bool:
+        """The *l-corner* test (Figure 7a): ``q`` dominates the whole box.
+
+        True iff ``q`` is coordinate-wise ``<=`` the box's lower corner,
+        in which case every point in the subtree is dominated by ``q``.
+        """
+        self._check_dim(len(q))
+        return all(qi <= lo for qi, lo in zip(q, self.lower))
+
+    def may_contain_dominator(self, q: Sequence[float]) -> bool:
+        """Candidate-region test for the *dominator* search (Figure 7b).
+
+        True iff the box may contain a point that weakly dominates ``q``,
+        i.e. the box's lower corner is coordinate-wise ``<=`` ``q``.
+        """
+        self._check_dim(len(q))
+        return all(lo <= qi for lo, qi in zip(self.lower, q))
+
+    def fully_dominates(self, q: Sequence[float]) -> bool:
+        """The *r-corner* test (Figure 7b): every box point dominates ``q``.
+
+        True iff the box's upper corner is coordinate-wise ``<=`` ``q``.
+        """
+        self._check_dim(len(q))
+        return all(hi <= qi for hi, qi in zip(self.upper, q))
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+
+    def _check_dim(self, other_dim: int) -> None:
+        if other_dim != self.dim:
+            raise DimensionMismatchError(self.dim, other_dim)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MBR):
+            return NotImplemented
+        return self.lower == other.lower and self.upper == other.upper
+
+    def __hash__(self) -> int:
+        return hash((self.lower, self.upper))
+
+    def __repr__(self) -> str:
+        return f"MBR(lower={self.lower}, upper={self.upper})"

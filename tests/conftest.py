@@ -1,0 +1,101 @@
+"""Shared helpers and oracles for the test suite.
+
+Most engine tests validate against brute-force reference computations:
+
+* :func:`window_skyline_kappas` — the expected n-of-N result, computed
+  by scanning the raw history with the quadratic oracle;
+* :func:`slice_skyline_kappas` — the expected (n1,n2)-of-N result;
+* :func:`reference_rn_kappas` — the expected non-redundant set ``R_N``,
+  both directly from the definition and via the paper's Theorem 2
+  mapping into (d+1)-dimensional space.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+import pytest
+
+from repro.baselines.naive import naive_skyline, naive_skyline_youngest
+from repro.core.dominance import weakly_dominates
+
+Point = Tuple[float, ...]
+
+
+def window_skyline_kappas(history: Sequence[Point], n: int) -> List[int]:
+    """Expected n-of-N result (1-based kappas, ascending).
+
+    Uses the engines' youngest-copy duplicate convention.
+    """
+    m = len(history)
+    window = history[max(0, m - n):]
+    offset = m - len(window)
+    return [offset + 1 + i for i in naive_skyline_youngest(window)]
+
+
+def slice_skyline_kappas(
+    history: Sequence[Point], n1: int, n2: int
+) -> List[int]:
+    """Expected (n1,n2)-of-N result (1-based kappas, ascending)."""
+    m = len(history)
+    hi = m - n1 + 1  # kappa of the n1-th most recent element
+    if hi < 1:
+        return []
+    lo = max(0, m - n2)  # 0-based slice start
+    window = history[lo:hi]
+    return [lo + 1 + i for i in naive_skyline_youngest(window)]
+
+
+def reference_rn_kappas(history: Sequence[Point], capacity: int) -> List[int]:
+    """Expected ``R_N`` from the definition: in-window elements not
+    weakly dominated by any younger in-window element."""
+    m = len(history)
+    start = max(0, m - capacity)
+    window = list(enumerate(history))[start:]
+    result = []
+    for pos, point in window:
+        younger_dominates = any(
+            weakly_dominates(other, point)
+            for later_pos, other in window
+            if later_pos > pos
+        )
+        if not younger_dominates:
+            result.append(pos + 1)
+    return result
+
+
+def reference_rn_via_mapping(history: Sequence[Point], capacity: int) -> List[int]:
+    """Expected ``R_N`` via the Theorem 2 proof mapping.
+
+    Map each window element ``e`` to ``(x_1..x_d, M - kappa(e))``; the
+    skyline of the mapped set (weak dominance / youngest-copy rules) is
+    exactly ``R_N``.
+    """
+    m = len(history)
+    start = max(0, m - capacity)
+    window = list(enumerate(history))[start:]
+    mapped = [tuple(point) + (float(m - (pos + 1)),) for pos, point in window]
+    winners = naive_skyline_youngest(mapped)
+    return [window[i][0] + 1 for i in winners]
+
+
+def random_points(
+    rng: random.Random, dim: int, count: int, grid: int = 0
+) -> List[Point]:
+    """Random test points; ``grid > 0`` snaps coordinates to a lattice,
+    deliberately provoking ties and duplicates."""
+    points = []
+    for _ in range(count):
+        if grid:
+            point = tuple(rng.randrange(grid) / grid for _ in range(dim))
+        else:
+            point = tuple(rng.random() for _ in range(dim))
+        points.append(point)
+    return points
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG per test."""
+    return random.Random(0xC0FFEE)

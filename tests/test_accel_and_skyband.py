@@ -1,0 +1,109 @@
+"""Tests for the NumPy-accelerated skyline and the k-skyband baselines."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import numpy_skyline, pareto_mask
+from repro.baselines import naive_skyline
+from repro.baselines.skyband import k_skyband, k_skyband_sorted
+
+
+class TestNumpySkyline:
+    def test_hand_checked_instance(self):
+        points = [(1.0, 5.0), (2.0, 3.0), (4.0, 1.0), (3.0, 4.0)]
+        assert numpy_skyline(points) == [0, 1, 2]
+
+    def test_empty_input(self):
+        assert numpy_skyline([]) == []
+        assert pareto_mask([]).shape == (0,)
+
+    def test_accepts_ndarray(self):
+        arr = np.array([[0.1, 0.9], [0.9, 0.1], [0.5, 0.5], [0.9, 0.9]])
+        assert numpy_skyline(arr) == [0, 1, 2]
+
+    def test_mask_shape_and_dtype(self):
+        mask = pareto_mask([(1.0, 1.0), (2.0, 2.0)])
+        assert mask.dtype == bool
+        assert mask.tolist() == [True, False]
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            pareto_mask([1.0, 2.0, 3.0])
+
+    def test_duplicates_all_reported(self):
+        points = [(1.0, 1.0), (1.0, 1.0), (2.0, 2.0)]
+        assert numpy_skyline(points) == [0, 1]
+
+    def test_large_instance_matches_naive(self):
+        rng = random.Random(5)
+        points = [tuple(rng.random() for _ in range(4)) for _ in range(800)]
+        assert numpy_skyline(points) == naive_skyline(points)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(1, 4).flatmap(
+            lambda d: st.lists(
+                st.tuples(*[st.integers(0, 8).map(lambda v: v / 8)] * d),
+                max_size=60,
+            )
+        )
+    )
+    def test_matches_naive_property(self, points):
+        assert numpy_skyline(points) == naive_skyline(points)
+
+
+class TestKSkyband:
+    POINTS = [(1.0, 5.0), (2.0, 3.0), (4.0, 1.0), (3.0, 4.0), (5.0, 5.0)]
+
+    def test_k1_is_the_skyline(self):
+        assert k_skyband(self.POINTS, 1) == naive_skyline(self.POINTS)
+
+    def test_band_grows_with_k(self):
+        band1 = set(k_skyband(self.POINTS, 1))
+        band2 = set(k_skyband(self.POINTS, 2))
+        band3 = set(k_skyband(self.POINTS, 3))
+        assert band1 <= band2 <= band3
+
+    def test_large_k_returns_everything(self):
+        assert k_skyband(self.POINTS, len(self.POINTS)) == list(
+            range(len(self.POINTS))
+        )
+
+    def test_hand_checked_second_band(self):
+        # (3,4) is dominated only by (2,3): in the 2-skyband.
+        # (5,5) is dominated by four points: out even at k=3.
+        assert 3 in k_skyband(self.POINTS, 2)
+        assert 4 not in k_skyband(self.POINTS, 3)
+
+    @pytest.mark.parametrize("func", [k_skyband, k_skyband_sorted])
+    def test_k_validation(self, func):
+        with pytest.raises(ValueError, match="k must be"):
+            func(self.POINTS, 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 8), st.integers(0, 8)),
+            max_size=40,
+        ),
+        st.integers(1, 5),
+    )
+    def test_sorted_variant_matches_oracle(self, points, k):
+        assert k_skyband_sorted(points, k) == k_skyband(points, k)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=40)
+    )
+    def test_skyband_nesting_property(self, points):
+        previous = set()
+        for k in (1, 2, 3):
+            band = set(k_skyband(points, k))
+            assert previous <= band
+            previous = band

@@ -1,0 +1,130 @@
+"""Tests for the epsilon-approximate n-of-N engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approx import ApproxNofNSkyline
+from repro.core.nofn import NofNSkyline
+
+
+class TestConstruction:
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            ApproxNofNSkyline(dim=2, capacity=5, epsilon=0.0)
+        with pytest.raises(ValueError, match="epsilon"):
+            ApproxNofNSkyline(dim=2, capacity=5, epsilon=-0.1)
+        with pytest.raises(ValueError, match="epsilon"):
+            ApproxNofNSkyline(dim=2, capacity=5, epsilon=(0.1, 0.0))
+        with pytest.raises(ValueError, match="per dimension"):
+            ApproxNofNSkyline(dim=3, capacity=5, epsilon=(0.1, 0.1))
+
+    def test_scalar_epsilon_broadcasts(self):
+        engine = ApproxNofNSkyline(dim=3, capacity=5, epsilon=0.2)
+        assert engine.epsilon == (0.2, 0.2, 0.2)
+
+    def test_per_axis_epsilon_for_mixed_units(self):
+        # Price axis on a $50 grid, duration axis on a 0.5h grid: the
+        # fine axis keeps resolving trade-offs the coarse one collapses.
+        engine = ApproxNofNSkyline(dim=2, capacity=10, epsilon=(50.0, 0.5))
+        engine.append((420.0, 3.0))
+        engine.append((410.0, 8.0))  # same $-cell, much longer: pruned?
+        # (410, 8) snaps to (400, 8.0) and (420, 3) to (400, 3.0):
+        # the first dominates on the fine axis, so both coexist only if
+        # neither snapped point dominates the other.
+        assert [e.kappa for e in engine.skyline()] == [1]
+
+    def test_accessors_delegate(self):
+        engine = ApproxNofNSkyline(dim=3, capacity=7, epsilon=0.1)
+        assert engine.dim == 3
+        assert engine.capacity == 7
+        assert engine.seen_so_far == 0
+        assert engine.rn_size == 0
+
+
+class TestResults:
+    def test_results_carry_original_vectors(self):
+        engine = ApproxNofNSkyline(dim=2, capacity=5, epsilon=0.25)
+        engine.append((0.13, 0.87), payload="x")
+        [element] = engine.skyline()
+        assert element.values == (0.13, 0.87)  # not the snapped grid point
+        assert element.payload == "x"
+
+    def test_near_duplicates_collapse(self):
+        engine = ApproxNofNSkyline(dim=2, capacity=10, epsilon=0.5)
+        engine.append((0.10, 0.10))
+        engine.append((0.12, 0.11))  # same grid cell: prunes the elder
+        assert engine.rn_size == 1
+        assert [e.kappa for e in engine.skyline()] == [2]
+
+    def test_exact_skyline_retained_for_coarse_separation(self):
+        """Points far apart relative to epsilon behave exactly."""
+        engine = ApproxNofNSkyline(dim=2, capacity=10, epsilon=0.01)
+        exact = NofNSkyline(dim=2, capacity=10)
+        points = [(0.9, 0.1), (0.5, 0.5), (0.1, 0.9), (0.7, 0.7)]
+        for point in points:
+            engine.append(point)
+            exact.append(point)
+        assert [e.kappa for e in engine.skyline()] == [
+            e.kappa for e in exact.skyline()
+        ]
+
+    def test_rn_shrinks_with_epsilon(self):
+        from repro.streams import materialize
+
+        points = materialize("anticorrelated", 3, 400, seed=7)
+        sizes = []
+        for epsilon in (0.001, 0.05, 0.25):
+            engine = ApproxNofNSkyline(dim=3, capacity=200, epsilon=epsilon)
+            for point in points:
+                engine.append(point)
+            sizes.append(engine.rn_size)
+        assert sizes[0] >= sizes[1] >= sizes[2]
+        assert sizes[2] < sizes[0]  # coarse grid genuinely compresses
+
+
+coord = st.integers(0, 40).map(lambda v: v / 40)
+
+
+class TestCoverageGuarantee:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=50),
+        st.integers(1, 12),
+        st.sampled_from([0.05, 0.1, 0.3]),
+    )
+    def test_every_window_element_is_epsilon_covered(
+        self, history, capacity, epsilon
+    ):
+        engine = ApproxNofNSkyline(dim=2, capacity=capacity, epsilon=epsilon)
+        for point in history:
+            engine.append(point)
+        m = len(history)
+        for n in (1, capacity):
+            reported = engine.query(n)
+            window = history[max(0, m - n):]
+            assert reported, "a non-empty window always yields a result"
+            for p in window:
+                assert any(
+                    all(qv <= pv + epsilon + 1e-9 for qv, pv in zip(q.values, p))
+                    for q in reported
+                ), f"{p} not covered within epsilon={epsilon}"
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=40),
+        st.integers(1, 10),
+    )
+    def test_reported_elements_come_from_the_window(self, history, capacity):
+        engine = ApproxNofNSkyline(dim=2, capacity=capacity, epsilon=0.1)
+        for point in history:
+            engine.append(point)
+        m = len(history)
+        for n in (1, capacity):
+            lo = m - min(n, m) + 1
+            for element in engine.query(n):
+                assert lo <= element.kappa <= m
+                assert element.values == history[element.kappa - 1]
+        engine.check_invariants()

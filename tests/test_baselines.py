@@ -1,0 +1,159 @@
+"""Unit tests for the four baseline skyline algorithms.
+
+Each algorithm gets targeted behavioural tests; cross-algorithm
+agreement on random inputs lives in ``test_baselines_agreement.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bnl import BNLStats, bnl_skyline
+from repro.baselines.klp import klp_skyline
+from repro.baselines.naive import naive_skyline, naive_skyline_youngest
+from repro.baselines.sfs import SFSStats, sfs_skyline
+
+# A hand-checked 2-d instance: skyline is {(1,5), (2,3), (4,1)}.
+POINTS_2D = [
+    (1.0, 5.0),  # 0: skyline
+    (2.0, 3.0),  # 1: skyline
+    (4.0, 1.0),  # 2: skyline
+    (3.0, 4.0),  # 3: dominated by (2,3)
+    (5.0, 5.0),  # 4: dominated by everything above-left
+    (2.0, 4.0),  # 5: dominated by (2,3)
+]
+EXPECTED_2D = [0, 1, 2]
+
+ALL_ALGORITHMS = [naive_skyline, klp_skyline, bnl_skyline, sfs_skyline]
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+class TestCommonBehaviour:
+    def test_hand_checked_instance(self, algorithm):
+        assert algorithm(POINTS_2D) == EXPECTED_2D
+
+    def test_empty_input(self, algorithm):
+        assert algorithm([]) == []
+
+    def test_single_point(self, algorithm):
+        assert algorithm([(3.0, 3.0)]) == [0]
+
+    def test_all_points_on_a_chain(self, algorithm):
+        chain = [(float(i), float(i)) for i in range(5, 0, -1)]
+        assert algorithm(chain) == [4]  # only (1,1) survives
+
+    def test_anti_chain_all_survive(self, algorithm):
+        anti = [(float(i), float(5 - i)) for i in range(5)]
+        assert algorithm(anti) == [0, 1, 2, 3, 4]
+
+    def test_exact_duplicates_all_reported(self, algorithm):
+        # Strict dominance: duplicates never kill each other.
+        points = [(1.0, 1.0), (1.0, 1.0), (2.0, 2.0)]
+        assert algorithm(points) == [0, 1]
+
+    def test_one_dimension(self, algorithm):
+        points = [(3.0,), (1.0,), (2.0,), (1.0,)]
+        assert algorithm(points) == [1, 3]
+
+    def test_five_dimensions(self, algorithm):
+        points = [
+            (1, 2, 3, 4, 5),
+            (5, 4, 3, 2, 1),
+            (1, 2, 3, 4, 6),   # dominated by the first
+            (0, 9, 9, 9, 9),
+        ]
+        assert algorithm(points) == [0, 1, 3]
+
+
+class TestNaiveYoungest:
+    def test_duplicates_keep_only_latest(self):
+        points = [(1.0, 1.0), (2.0, 2.0), (1.0, 1.0)]
+        assert naive_skyline_youngest(points) == [2]
+
+    def test_matches_strict_without_duplicates(self):
+        assert naive_skyline_youngest(POINTS_2D) == EXPECTED_2D
+
+    def test_weak_dominance_prunes_ties(self):
+        # (1,2) weakly dominated by later (1,2); earlier copy dies.
+        points = [(1.0, 2.0), (3.0, 1.0), (1.0, 2.0)]
+        assert naive_skyline_youngest(points) == [1, 2]
+
+
+class TestBNLSpecifics:
+    def test_tiny_window_forces_multiple_passes(self):
+        stats = BNLStats()
+        points = [(float(i), float(9 - i)) for i in range(10)]  # anti-chain
+        result = bnl_skyline(points, window_size=2, stats=stats)
+        assert result == list(range(10))
+        assert stats.passes > 1
+        assert stats.overflowed > 0
+
+    def test_unbounded_window_single_pass(self):
+        stats = BNLStats()
+        bnl_skyline(POINTS_2D, stats=stats)
+        assert stats.passes == 1
+        assert stats.overflowed == 0
+
+    def test_window_size_validation(self):
+        with pytest.raises(ValueError, match="window_size"):
+            bnl_skyline(POINTS_2D, window_size=0)
+
+    def test_dominating_late_arrival_evicts_window(self):
+        points = [(5.0, 5.0), (4.0, 4.0), (1.0, 1.0)]
+        assert bnl_skyline(points, window_size=2) == [2]
+
+    def test_comparisons_counted(self):
+        stats = BNLStats()
+        bnl_skyline(POINTS_2D, stats=stats)
+        assert stats.comparisons > 0
+
+
+class TestSFSSpecifics:
+    def test_custom_monotone_score(self):
+        # Max coordinate is also monotone under strict dominance with
+        # the sum tiebreak folded in.
+        result = sfs_skyline(POINTS_2D, score=lambda p: max(p) + sum(p) / 100)
+        assert result == EXPECTED_2D
+
+    def test_comparison_count_bounded_by_skyline_size(self):
+        stats = SFSStats()
+        sfs_skyline(POINTS_2D, stats=stats)
+        # Each point compares against at most the running skyline.
+        assert stats.comparisons <= len(POINTS_2D) * len(EXPECTED_2D)
+
+    def test_presorting_means_no_eviction_needed(self):
+        # A dominated point placed first in input order must still die.
+        points = [(9.0, 9.0), (1.0, 1.0)]
+        assert sfs_skyline(points) == [1]
+
+
+class TestKLPSpecifics:
+    def test_large_2d_instance_uses_sweep(self):
+        import random
+
+        rng = random.Random(0)
+        points = [(rng.random(), rng.random()) for _ in range(500)]
+        assert klp_skyline(points) == naive_skyline(points)
+
+    def test_recursion_crosses_brute_threshold(self):
+        import random
+
+        rng = random.Random(1)
+        points = [tuple(rng.random() for _ in range(4)) for _ in range(300)]
+        assert klp_skyline(points) == naive_skyline(points)
+
+    def test_constant_first_coordinate_projects(self):
+        points = [(1.0, a, b) for a, b in
+                  [(2.0, 3.0), (3.0, 2.0), (2.5, 2.5), (4.0, 4.0)]]
+        points = points * 6  # force past the brute threshold
+        assert klp_skyline(points) == naive_skyline(points)
+
+    def test_heavy_ties_on_split_coordinate(self):
+        import random
+
+        rng = random.Random(2)
+        points = [
+            (rng.choice([0.1, 0.2, 0.3]), rng.random(), rng.random())
+            for _ in range(200)
+        ]
+        assert klp_skyline(points) == naive_skyline(points)

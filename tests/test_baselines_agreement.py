@@ -1,0 +1,87 @@
+"""Property tests: all four baseline skyline algorithms agree.
+
+The quadratic naive algorithm is the semantic anchor; KLP (divide and
+conquer), BNL (with assorted window sizes) and SFS must match it on
+every generated input — including inputs engineered to contain ties,
+duplicates and degenerate dimensions, which are exactly where
+divide-and-conquer split logic and BNL overflow handling go wrong.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import bnl_skyline, klp_skyline, naive_skyline, sfs_skyline
+
+smooth_coord = st.floats(min_value=0, max_value=1, allow_nan=False, width=32)
+tied_coord = st.sampled_from([0.0, 0.25, 0.25, 0.5, 0.75, 1.0])
+
+
+def point_lists(coord, max_dim=5, max_size=60):
+    return st.integers(1, max_dim).flatmap(
+        lambda d: st.lists(
+            st.tuples(*[coord] * d).map(tuple), max_size=max_size
+        )
+    )
+
+
+class TestAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(point_lists(smooth_coord))
+    def test_agree_on_smooth_inputs(self, points):
+        expected = naive_skyline(points)
+        assert klp_skyline(points) == expected
+        assert sfs_skyline(points) == expected
+        assert bnl_skyline(points) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(point_lists(tied_coord, max_dim=4, max_size=40))
+    def test_agree_on_heavily_tied_inputs(self, points):
+        expected = naive_skyline(points)
+        assert klp_skyline(points) == expected
+        assert sfs_skyline(points) == expected
+        assert bnl_skyline(points) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        point_lists(smooth_coord, max_dim=3, max_size=50),
+        st.integers(1, 8),
+    )
+    def test_bnl_window_size_is_semantics_free(self, points, window):
+        assert bnl_skyline(points, window_size=window) == naive_skyline(points)
+
+    @settings(max_examples=40, deadline=None)
+    @given(point_lists(smooth_coord, max_dim=3, max_size=50))
+    def test_skyline_is_idempotent(self, points):
+        first = naive_skyline(points)
+        survivors = [points[i] for i in first]
+        again = klp_skyline(survivors)
+        assert again == list(range(len(survivors)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(point_lists(smooth_coord, max_dim=4, max_size=40))
+    def test_skyline_members_are_undominated(self, points):
+        from repro.core.dominance import dominates
+
+        for idx in klp_skyline(points):
+            assert not any(
+                dominates(other, points[idx])
+                for j, other in enumerate(points)
+                if j != idx
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(point_lists(smooth_coord, max_dim=4, max_size=40))
+    def test_non_members_are_dominated(self, points):
+        from repro.core.dominance import dominates
+
+        members = set(klp_skyline(points))
+        for idx, point in enumerate(points):
+            if idx not in members:
+                assert any(
+                    dominates(other, point)
+                    for j, other in enumerate(points)
+                    if j != idx
+                )

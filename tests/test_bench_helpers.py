@@ -1,0 +1,162 @@
+"""Tests for the benchmark harness helpers (measure/reporting/workloads)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.measure import (
+    PerElementCost,
+    average_query_time,
+    bucketed_query_times,
+    feed_timed,
+    time_batch,
+    time_each,
+)
+from repro.bench.reporting import (
+    format_count,
+    format_rate,
+    format_seconds,
+    render_series,
+    render_table,
+)
+from repro.bench.workloads import (
+    DISTRIBUTIONS,
+    bench_scale,
+    build_n1n2,
+    build_nofn,
+    scaled,
+    stream_points,
+)
+from repro.core.nofn import NofNSkyline
+
+
+class TestPerElementCost:
+    def test_derived_statistics(self):
+        cost = PerElementCost(count=4, total_seconds=2.0, max_seconds=1.0)
+        assert cost.avg_seconds == 0.5
+        assert cost.throughput == 2.0
+
+    def test_empty_measurement(self):
+        cost = PerElementCost(count=0, total_seconds=0.0, max_seconds=0.0)
+        assert cost.avg_seconds == 0.0
+        assert cost.throughput == float("inf")
+
+
+class TestFeedTimed:
+    def test_counts_post_warmup_only(self):
+        engine = NofNSkyline(dim=2, capacity=10)
+        points = stream_points("independent", 2, 20, seed=1)
+        cost = feed_timed(engine, points, warmup=5)
+        assert cost.count == 15
+        assert engine.seen_so_far == 20
+        assert cost.total_seconds > 0
+        assert cost.max_seconds >= cost.avg_seconds
+
+    def test_per_element_callback_runs_inside_timing(self):
+        engine = NofNSkyline(dim=2, capacity=10)
+        seen = []
+        feed_timed(
+            engine,
+            stream_points("independent", 2, 8, seed=1),
+            warmup=3,
+            per_element=seen.append,
+        )
+        assert seen == list(range(3, 8))
+
+
+class TestQueryTiming:
+    def test_average_query_time_runs_each_param(self):
+        calls = []
+        avg = average_query_time(calls.append, [1, 2, 3])
+        assert calls == [1, 2, 3]
+        assert avg >= 0.0
+
+    def test_average_needs_params(self):
+        with pytest.raises(ValueError):
+            average_query_time(lambda p: p, [])
+
+    def test_bucketed_query_times_shape(self):
+        buckets = bucketed_query_times(lambda n: n, list(range(100)), 10)
+        assert len(buckets) == 10
+        representatives = [rep for rep, _ in buckets]
+        assert representatives == sorted(representatives)
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            bucketed_query_times(lambda n: n, [1], 0)
+
+    def test_time_batch_and_each(self):
+        assert time_batch(lambda: None, repeats=3) >= 0.0
+        with pytest.raises(ValueError):
+            time_batch(lambda: None, repeats=0)
+        assert len(time_each([lambda: None, lambda: None])) == 2
+
+
+class TestReporting:
+    def test_format_seconds_scales(self):
+        assert format_seconds(2.5e-6).endswith("us")
+        assert format_seconds(3.2e-3).endswith("ms")
+        assert format_seconds(4.0) == "4s"
+        assert format_seconds(float("inf")) == "inf"
+
+    def test_format_rate_scales(self):
+        assert format_rate(2_500_000).endswith("M/s")
+        assert format_rate(1_500).endswith("K/s")
+        assert format_rate(12.0) == "12/s"
+        assert format_rate(float("inf")) == "inf"
+
+    def test_format_count_matches_paper_style(self):
+        assert format_count(47_000) == "47K"
+        assert format_count(1_300) == "1.3K"
+        assert format_count(65) == "65"
+        assert format_count(2_000_000) == "2M"
+
+    def test_render_table_alignment(self):
+        text = render_table("T", ["a", "bb"], [["1", "22"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len(lines) == 6  # title, rule, header, rule, 2 rows
+
+    def test_render_series_aligns_columns(self):
+        text = render_series("S", "x", [1, 2], [("y", [10, 20]), ("z", [3, 4])])
+        assert "10" in text and "4" in text
+        assert text.splitlines()[2].startswith("x")
+
+
+class TestWorkloads:
+    def test_scale_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
+        assert bench_scale() == 2.5
+        assert scaled(100) == 250
+
+    def test_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == 1.0
+
+    def test_scale_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "zero")
+        with pytest.raises(ValueError):
+            bench_scale()
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "-1")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+    def test_scaled_minimum(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.001")
+        assert scaled(100, minimum=5) == 5
+
+    def test_build_nofn_prefills(self):
+        engine, points = build_nofn("independent", 2, capacity=20)
+        assert engine.seen_so_far == 20
+        assert len(points) == 20
+
+    def test_build_n1n2_prefills(self):
+        engine, points = build_n1n2("independent", 2, capacity=15, prefill=30)
+        assert engine.seen_so_far == 30
+        assert engine.window_size == 15
+
+    def test_distribution_roster(self):
+        assert set(DISTRIBUTIONS) == {
+            "correlated", "independent", "anticorrelated",
+        }

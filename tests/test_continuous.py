@@ -1,0 +1,131 @@
+"""Behavioural tests for continuous n-of-N queries (Algorithm 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ContinuousQueryManager, NofNSkyline
+from repro.exceptions import InvalidWindowError, QueryNotRegisteredError
+
+
+def make_manager(capacity=6, dim=2):
+    engine = NofNSkyline(dim=dim, capacity=capacity)
+    return engine, ContinuousQueryManager(engine)
+
+
+class TestRegistration:
+    def test_register_validates_n(self):
+        _, manager = make_manager(capacity=6)
+        with pytest.raises(InvalidWindowError):
+            manager.register(0)
+        with pytest.raises(InvalidWindowError):
+            manager.register(7)
+
+    def test_register_on_empty_engine(self):
+        _, manager = make_manager()
+        handle = manager.register(3)
+        assert handle.result() == []
+        assert len(handle) == 0
+
+    def test_register_mid_stream_seeds_from_query(self):
+        engine, manager = make_manager(capacity=4)
+        for point in [(0.5, 0.5), (0.2, 0.8), (0.8, 0.2)]:
+            engine.append(point)
+        handle = manager.register(3)
+        assert handle.result_kappas() == [e.kappa for e in engine.query(3)]
+        assert handle.changes == 0  # seeding does not count as churn
+
+    def test_unregister_stops_updates(self):
+        _, manager = make_manager()
+        handle = manager.register(2)
+        manager.unregister(handle)
+        manager.append((0.1, 0.1))
+        assert handle.result() == []  # never saw the arrival
+
+    def test_unregister_twice_raises(self):
+        _, manager = make_manager()
+        handle = manager.register(2)
+        manager.unregister(handle)
+        with pytest.raises(QueryNotRegisteredError):
+            manager.unregister(handle)
+
+    def test_manager_iteration_and_len(self):
+        _, manager = make_manager()
+        h1, h2 = manager.register(2), manager.register(3)
+        assert len(manager) == 2
+        assert {h.query_id for h in manager} == {h1.query_id, h2.query_id}
+
+
+class TestIncrementalMaintenance:
+    def test_newcomer_joins_when_undominated(self):
+        _, manager = make_manager(capacity=4)
+        handle = manager.register(2)
+        manager.append((0.5, 0.5))
+        assert handle.result_kappas() == [1]
+
+    def test_newcomer_dominates_and_replaces(self):
+        _, manager = make_manager(capacity=4)
+        handle = manager.register(4)
+        manager.append((0.5, 0.5))
+        manager.append((0.1, 0.1))
+        assert handle.result_kappas() == [2]
+        assert handle.changes == 3  # +1, -1, +2
+
+    def test_dominated_newcomer_stays_out(self):
+        _, manager = make_manager(capacity=4)
+        handle = manager.register(4)
+        manager.append((0.1, 0.1))
+        manager.append((0.9, 0.9))
+        assert handle.result_kappas() == [1]
+
+    def test_expiry_promotes_children(self):
+        _, manager = make_manager(capacity=8)
+        handle = manager.register(2)  # only the last two arrivals
+        manager.append((0.1, 0.1))  # kappa 1 dominates both followers
+        manager.append((0.3, 0.5))  # kappa 2, child of 1
+        manager.append((0.5, 0.3))  # kappa 3, child of 1
+        # Window of 2 = {2, 3}: kappa 1 just slid out of the n-window
+        # and both children are promoted.
+        assert handle.result_kappas() == [2, 3]
+
+    def test_cascading_promotion(self):
+        _, manager = make_manager(capacity=10)
+        handle = manager.register(1)  # the most recent element only
+        manager.append((0.1, 0.1))
+        manager.append((0.2, 0.2))
+        manager.append((0.3, 0.3))
+        # n = 1: each arrival instantly replaces the previous result.
+        assert handle.result_kappas() == [3]
+        assert handle.changes == 5  # +1 | -1 +2 | -2 +3
+
+    def test_multiple_queries_update_independently(self):
+        engine, manager = make_manager(capacity=6)
+        short = manager.register(2)
+        long = manager.register(6)
+        for point in [(0.4, 0.4), (0.6, 0.2), (0.2, 0.6), (0.5, 0.5)]:
+            manager.append(point)
+        assert short.result_kappas() == [e.kappa for e in engine.query(2)]
+        assert long.result_kappas() == [e.kappa for e in engine.query(6)]
+
+    def test_contains_protocol(self):
+        _, manager = make_manager()
+        handle = manager.register(3)
+        manager.append((0.5, 0.5))
+        assert 1 in handle and 2 not in handle
+
+
+class TestProcessDirectly:
+    def test_external_engine_driving(self):
+        """Applications may drive the engine and hand outcomes over."""
+        engine, manager = make_manager(capacity=4)
+        handle = manager.register(3)
+        outcome = engine.append((0.5, 0.5))
+        manager.process(outcome)
+        assert handle.result_kappas() == [1]
+
+    def test_payloads_visible_in_results(self):
+        _, manager = make_manager()
+        handle = manager.register(2)
+        manager.append((0.3, 0.3), payload={"id": "abc"})
+        [element] = handle.result()
+        assert element.payload == {"id": "abc"}

@@ -1,0 +1,74 @@
+"""Property tests: Algorithm 2 tracks fresh stabbing queries exactly.
+
+The trigger-based continuous result must equal ``engine.query(n)``
+after *every* arrival, for several simultaneously registered window
+sizes — the defining correctness statement of Proposition 1.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ContinuousQueryManager, NofNSkyline
+
+coord = st.integers(0, 6).map(lambda v: v / 6)
+
+
+def streams(max_dim=3, max_len=50):
+    return st.integers(1, max_dim).flatmap(
+        lambda d: st.lists(
+            st.tuples(*[coord] * d).map(tuple), min_size=1, max_size=max_len
+        )
+    )
+
+
+class TestContinuousEqualsFreshQuery:
+    @settings(max_examples=40, deadline=None)
+    @given(streams(), st.integers(1, 12))
+    def test_all_window_sizes_tracked(self, history, capacity):
+        engine = NofNSkyline(dim=len(history[0]), capacity=capacity)
+        manager = ContinuousQueryManager(engine)
+        handles = [manager.register(n) for n in range(1, capacity + 1)]
+        for point in history:
+            manager.append(point)
+            for handle in handles:
+                assert handle.result_kappas() == [
+                    e.kappa for e in engine.query(handle.n)
+                ], f"n={handle.n} diverged"
+
+    @settings(max_examples=30, deadline=None)
+    @given(streams(max_len=40), st.integers(2, 10), st.integers(0, 30))
+    def test_late_registration_converges(self, history, capacity, split):
+        """A query registered mid-stream behaves as if present from the
+        start (its result is a pure function of the window)."""
+        engine = NofNSkyline(dim=len(history[0]), capacity=capacity)
+        manager = ContinuousQueryManager(engine)
+        split = min(split, len(history))
+        for point in history[:split]:
+            engine_outcome = engine.append(point)
+            manager.process(engine_outcome)
+        handle = manager.register(max(1, capacity // 2))
+        for point in history[split:]:
+            manager.append(point)
+            assert handle.result_kappas() == [
+                e.kappa for e in engine.query(handle.n)
+            ]
+
+    @settings(max_examples=30, deadline=None)
+    @given(streams(max_len=40), st.integers(1, 10))
+    def test_change_counter_is_delta_sum(self, history, capacity):
+        """``changes`` accumulates exactly the symmetric differences of
+        consecutive results (the paper's delta)."""
+        engine = NofNSkyline(dim=len(history[0]), capacity=capacity)
+        manager = ContinuousQueryManager(engine)
+        n = max(1, capacity // 2)
+        handle = manager.register(n)
+        previous: set = set()
+        expected_changes = 0
+        for point in history:
+            manager.append(point)
+            current = set(handle.result_kappas())
+            expected_changes += len(current ^ previous)
+            previous = current
+        assert handle.changes == expected_changes

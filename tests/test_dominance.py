@@ -1,0 +1,111 @@
+"""Unit tests for the dominance predicates."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dominance import (
+    dominance_count,
+    dominates,
+    incomparable,
+    weakly_dominates,
+)
+
+
+class TestWeaklyDominates:
+    def test_strictly_smaller_everywhere(self):
+        assert weakly_dominates((1.0, 2.0), (3.0, 4.0))
+
+    def test_equal_points_weakly_dominate_each_other(self):
+        assert weakly_dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_tie_on_one_axis(self):
+        assert weakly_dominates((1.0, 2.0), (1.0, 5.0))
+
+    def test_worse_on_one_axis_fails(self):
+        assert not weakly_dominates((1.0, 6.0), (2.0, 5.0))
+
+    def test_single_dimension(self):
+        assert weakly_dominates((3.0,), (3.0,))
+        assert not weakly_dominates((4.0,), (3.0,))
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            weakly_dominates((1.0,), (1.0, 2.0))
+
+
+class TestDominates:
+    def test_strict_requires_improvement_somewhere(self):
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_not_antisymmetric_violation(self):
+        assert dominates((0.0, 0.0), (1.0, 1.0))
+        assert not dominates((1.0, 1.0), (0.0, 0.0))
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            dominates((1.0, 2.0, 3.0), (1.0, 2.0))
+
+
+class TestIncomparable:
+    def test_trade_off_points(self):
+        assert incomparable((1.0, 5.0), (5.0, 1.0))
+
+    def test_dominated_pair_is_comparable(self):
+        assert not incomparable((1.0, 1.0), (2.0, 2.0))
+
+    def test_equal_points_are_comparable(self):
+        # Weak dominance holds both ways for equal points.
+        assert not incomparable((2.0, 2.0), (2.0, 2.0))
+
+
+class TestDominanceCount:
+    def test_counts_strict_dominators_only(self):
+        others = [(0.0, 0.0), (1.0, 1.0), (2.0, 0.5), (1.0, 2.0)]
+        assert dominance_count((1.0, 1.0), others) == 1
+
+    def test_empty_others(self):
+        assert dominance_count((1.0,), []) == 0
+
+
+points = st.lists(
+    st.floats(min_value=0, max_value=1, allow_nan=False, width=32),
+    min_size=3,
+    max_size=3,
+).map(tuple)
+
+
+class TestDominanceProperties:
+    @given(points, points)
+    def test_strict_implies_weak(self, x, y):
+        if dominates(x, y):
+            assert weakly_dominates(x, y)
+
+    @given(points, points)
+    def test_strict_is_asymmetric(self, x, y):
+        assert not (dominates(x, y) and dominates(y, x))
+
+    @given(points, points, points)
+    def test_weak_is_transitive(self, x, y, z):
+        if weakly_dominates(x, y) and weakly_dominates(y, z):
+            assert weakly_dominates(x, z)
+
+    @given(points)
+    def test_weak_is_reflexive(self, x):
+        assert weakly_dominates(x, x)
+
+    @given(points, points)
+    def test_trichotomy_of_predicates(self, x, y):
+        # Exactly one of: x weakly dominates y, y strictly dominates x,
+        # or the two are incomparable... unless equal, where only the
+        # first applies both ways.
+        if incomparable(x, y):
+            assert not weakly_dominates(x, y)
+            assert not weakly_dominates(y, x)
+        else:
+            assert weakly_dominates(x, y) or weakly_dominates(y, x)

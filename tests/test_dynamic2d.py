@@ -1,0 +1,138 @@
+"""Tests for the dynamic 2-d skyline structure (Kapoor-style)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dynamic2d import Dynamic2DSkyline
+from repro.baselines.naive import naive_skyline
+from repro.exceptions import DuplicateKeyError, KeyNotFoundError
+
+
+def model_skyline(points: dict) -> set:
+    """Reference staircase with the structure's duplicate collapsing."""
+    distinct = {}
+    for key, (x, y) in sorted(points.items(), key=lambda kv: (kv[1], kv[0])):
+        distinct.setdefault((x, y), key)
+    vectors = list(distinct)
+    winners = naive_skyline(vectors)
+    return {distinct[vectors[i]] for i in winners}
+
+
+class TestBasics:
+    def test_insert_and_skyline(self):
+        sky = Dynamic2DSkyline()
+        sky.insert(1, 5, "a")
+        sky.insert(2, 3, "b")
+        sky.insert(4, 1, "c")
+        sky.insert(3, 4, "d")  # dominated by b
+        assert [k for _, _, k in sky.skyline()] == ["a", "b", "c"]
+
+    def test_duplicate_key_rejected(self):
+        sky = Dynamic2DSkyline()
+        sky.insert(1, 1, "a")
+        with pytest.raises(DuplicateKeyError):
+            sky.insert(2, 2, "a")
+
+    def test_delete_restores_dominated_points(self):
+        sky = Dynamic2DSkyline()
+        sky.insert(2, 2, "strong")
+        sky.insert(3, 3, "weak")
+        assert [k for _, _, k in sky.skyline()] == ["strong"]
+        assert sky.delete("strong") == (2.0, 2.0)
+        assert [k for _, _, k in sky.skyline()] == ["weak"]
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            Dynamic2DSkyline().delete("nope")
+
+    def test_len_and_contains(self):
+        sky = Dynamic2DSkyline()
+        sky.insert(1, 1, 7)
+        assert len(sky) == 1 and 7 in sky and 8 not in sky
+
+    def test_points_iteration_in_x_order(self):
+        sky = Dynamic2DSkyline()
+        sky.insert(3, 1, "c")
+        sky.insert(1, 3, "a")
+        sky.insert(2, 2, "b")
+        assert [k for _, _, k in sky.points()] == ["a", "b", "c"]
+
+    def test_exact_duplicates_collapse_in_skyline(self):
+        sky = Dynamic2DSkyline()
+        sky.insert(1, 1, "first")
+        sky.insert(1, 1, "second")
+        assert len(sky.skyline()) == 1
+        assert len(sky) == 2  # both stored; one reported
+
+
+class TestDominatedQuery:
+    def test_weak_dominance_boundary(self):
+        sky = Dynamic2DSkyline()
+        sky.insert(2, 2, "p")
+        assert sky.dominated(2, 2)  # the stored point itself
+        assert sky.dominated(3, 2)
+        assert sky.dominated(2, 5)
+        assert not sky.dominated(1.9, 5)
+        assert not sky.dominated(5, 1.9)
+
+    def test_empty_structure(self):
+        assert not Dynamic2DSkyline().dominated(0, 0)
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete"]),
+        st.integers(0, 9),
+        st.integers(0, 9),
+        st.integers(0, 30),
+    ),
+    max_size=120,
+)
+
+
+class TestDynamicProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(ops)
+    def test_matches_model_under_churn(self, operations):
+        sky = Dynamic2DSkyline()
+        model = {}
+        next_key = 0
+        keys = []
+        for op, x, y, pick in operations:
+            if op == "insert":
+                sky.insert(x / 3, y / 3, next_key)
+                model[next_key] = (x / 3, y / 3)
+                keys.append(next_key)
+                next_key += 1
+            elif keys:
+                victim = keys.pop(pick % len(keys))
+                sky.delete(victim)
+                del model[victim]
+            got = {k for _, _, k in sky.skyline()}
+            assert got == model_skyline(model)
+            # dominated() agrees with a scan for a probe point.
+            probe = (x / 3, y / 3)
+            expected_dom = any(
+                px <= probe[0] and py <= probe[1] for px, py in model.values()
+            )
+            assert sky.dominated(*probe) == expected_dom
+        sky.check_invariants()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0, 1, allow_nan=False, width=32),
+                              st.floats(0, 1, allow_nan=False, width=32)),
+                    max_size=80))
+    def test_skyline_staircase_shape(self, points):
+        sky = Dynamic2DSkyline()
+        for i, (x, y) in enumerate(points):
+            sky.insert(x, y, i)
+        staircase = sky.skyline()
+        xs = [x for x, _, _ in staircase]
+        ys = [y for _, y, _ in staircase]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys, reverse=True)

@@ -1,0 +1,80 @@
+"""Unit tests for :class:`repro.core.element.StreamElement`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.element import StreamElement
+
+
+class TestConstruction:
+    def test_values_are_frozen_as_float_tuple(self):
+        element = StreamElement([1, 2], kappa=3)
+        assert element.values == (1.0, 2.0)
+        assert isinstance(element.values, tuple)
+
+    def test_payload_is_carried_verbatim(self):
+        payload = {"deal": 42}
+        element = StreamElement((1.0,), kappa=1, payload=payload)
+        assert element.payload is payload
+
+    def test_default_payload_is_none(self):
+        assert StreamElement((1.0,), kappa=1).payload is None
+
+    def test_dim(self):
+        assert StreamElement((1.0, 2.0, 3.0), kappa=1).dim == 3
+
+    def test_kappa_must_be_positive(self):
+        with pytest.raises(ValueError, match="1-based"):
+            StreamElement((1.0,), kappa=0)
+
+    def test_needs_at_least_one_coordinate(self):
+        with pytest.raises(ValueError, match="at least one coordinate"):
+            StreamElement((), kappa=1)
+
+    def test_nan_coordinates_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            StreamElement((0.5, float("nan")), kappa=1)
+
+    def test_infinities_are_allowed(self):
+        # Infinite coordinates order consistently (sentinel use-cases).
+        element = StreamElement((float("inf"), 0.0), kappa=1)
+        assert element.values[0] == float("inf")
+
+
+class TestRecency:
+    def test_age_of_newest_is_one(self):
+        element = StreamElement((1.0,), kappa=10)
+        assert element.age(seen_so_far=10) == 1
+
+    def test_age_grows_with_stream(self):
+        element = StreamElement((1.0,), kappa=10)
+        assert element.age(seen_so_far=15) == 6
+
+    def test_expiry_boundary(self):
+        element = StreamElement((1.0,), kappa=5)
+        # window of 6 with M=10 covers kappas 5..10: still inside.
+        assert not element.is_expired(seen_so_far=10, window=6)
+        # window of 5 covers kappas 6..10: expired.
+        assert element.is_expired(seen_so_far=10, window=5)
+
+
+class TestIdentity:
+    def test_equality_by_kappa_and_values(self):
+        a = StreamElement((1.0, 2.0), kappa=3)
+        b = StreamElement((1.0, 2.0), kappa=3, payload="x")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_kappa_differs(self):
+        a = StreamElement((1.0, 2.0), kappa=3)
+        b = StreamElement((1.0, 2.0), kappa=4)
+        assert a != b
+
+    def test_not_equal_to_other_types(self):
+        assert StreamElement((1.0,), kappa=1) != (1.0,)
+
+    def test_repr_mentions_kappa_and_values(self):
+        text = repr(StreamElement((1.0, 2.5), kappa=7))
+        assert "kappa=7" in text
+        assert "2.5" in text

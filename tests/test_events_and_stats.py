@@ -1,0 +1,81 @@
+"""Direct unit tests for the arrival-event records and engine stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.element import StreamElement
+from repro.core.events import ArrivalOutcome, ExpiredRecord
+from repro.core.stats import EngineStats
+
+
+def element(kappa, *values):
+    return StreamElement(values or (1.0,), kappa)
+
+
+class TestArrivalOutcome:
+    def test_defaults_describe_a_quiet_arrival(self):
+        outcome = ArrivalOutcome(element=element(1), seen_so_far=1)
+        assert outcome.dominated_removed == ()
+        assert outcome.parent_kappa == 0
+        assert outcome.expired == ()
+        assert outcome.removed_kappas == frozenset()
+
+    def test_removed_kappas_unions_both_sources(self):
+        outcome = ArrivalOutcome(
+            element=element(5),
+            seen_so_far=5,
+            dominated_removed=(element(3), element(4)),
+            expired=(ExpiredRecord(element(1), children=(element(2),)),),
+        )
+        assert outcome.removed_kappas == frozenset({1, 3, 4})
+
+    def test_outcome_is_frozen(self):
+        outcome = ArrivalOutcome(element=element(1), seen_so_far=1)
+        with pytest.raises(AttributeError):
+            outcome.seen_so_far = 2
+
+    def test_expired_record_children_are_a_tuple_snapshot(self):
+        record = ExpiredRecord(element(1), children=(element(2), element(3)))
+        assert isinstance(record.children, tuple)
+        assert [c.kappa for c in record.children] == [2, 3]
+
+
+class TestEngineStats:
+    def test_fresh_stats_are_zero(self):
+        stats = EngineStats()
+        assert stats.rn_size_mean == 0.0
+        assert stats.mean_result_size == 0.0
+        assert stats.snapshot()["arrivals"] == 0
+
+    def test_arrival_accounting(self):
+        stats = EngineStats()
+        stats.record_arrival(expired=1, dominated=2, rn_size=5)
+        stats.record_arrival(expired=0, dominated=0, rn_size=7)
+        assert stats.arrivals == 2
+        assert stats.expiries == 1
+        assert stats.dominated_removed == 2
+        assert stats.rn_size_peak == 7
+        assert stats.rn_size_mean == 6.0
+
+    def test_query_accounting(self):
+        stats = EngineStats()
+        stats.record_query(3)
+        stats.record_query(5)
+        assert stats.queries == 2
+        assert stats.mean_result_size == 4.0
+
+    def test_snapshot_raw_round_trips_every_counter(self):
+        stats = EngineStats()
+        stats.record_arrival(expired=1, dominated=4, rn_size=9)
+        stats.record_query(2)
+        raw = stats.snapshot_raw()
+        clone = EngineStats(**raw)
+        assert clone.snapshot() == stats.snapshot()
+
+    def test_snapshot_contains_derived_metrics(self):
+        stats = EngineStats()
+        stats.record_arrival(expired=0, dominated=0, rn_size=4)
+        snap = stats.snapshot()
+        assert snap["rn_size_mean"] == 4.0
+        assert "rn_size_peak" in snap and "mean_result_size" in snap

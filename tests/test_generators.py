@@ -1,0 +1,108 @@
+"""Tests for the synthetic benchmark stream generators."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.baselines import naive_skyline
+from repro.streams.generators import (
+    anticorrelated_stream,
+    correlated_stream,
+    distributions,
+    independent_stream,
+    make_stream,
+    materialize,
+)
+
+ALL_FACTORIES = [independent_stream, correlated_stream, anticorrelated_stream]
+
+
+@pytest.mark.parametrize("factory", ALL_FACTORIES)
+class TestCommonContract:
+    def test_count_and_dimension(self, factory):
+        points = list(factory(dim=3, count=50, seed=1))
+        assert len(points) == 50
+        assert all(len(p) == 3 for p in points)
+
+    def test_values_in_unit_cube(self, factory):
+        for point in factory(dim=4, count=200, seed=2):
+            assert all(0.0 <= v <= 1.0 for v in point)
+
+    def test_deterministic_given_seed(self, factory):
+        assert list(factory(2, 30, seed=9)) == list(factory(2, 30, seed=9))
+
+    def test_different_seeds_differ(self, factory):
+        assert list(factory(2, 30, seed=1)) != list(factory(2, 30, seed=2))
+
+    def test_zero_count(self, factory):
+        assert list(factory(2, 0)) == []
+
+    def test_validation(self, factory):
+        with pytest.raises(ValueError):
+            list(factory(0, 10))
+        with pytest.raises(ValueError):
+            list(factory(2, -1))
+
+
+def _pairwise_correlation(points):
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    return statistics.correlation(xs, ys)
+
+
+class TestDistributionShapes:
+    """The defining statistical signatures of the three families."""
+
+    def test_correlated_has_positive_correlation(self):
+        points = materialize("correlated", 2, 2000, seed=3)
+        assert _pairwise_correlation(points) > 0.7
+
+    def test_anticorrelated_has_negative_correlation(self):
+        points = materialize("anticorrelated", 2, 2000, seed=3)
+        assert _pairwise_correlation(points) < -0.4
+
+    def test_independent_has_weak_correlation(self):
+        points = materialize("independent", 2, 2000, seed=3)
+        assert abs(_pairwise_correlation(points)) < 0.1
+
+    def test_skyline_size_ordering(self):
+        """The paper's premise: corr < indep < anti skyline sizes."""
+        sizes = {}
+        for dist in ("correlated", "independent", "anticorrelated"):
+            points = materialize(dist, 3, 1500, seed=4)
+            sizes[dist] = len(naive_skyline(points))
+        assert sizes["correlated"] < sizes["independent"] < sizes["anticorrelated"]
+
+
+class TestFactoryDispatch:
+    def test_distributions_lists_canonical_names(self):
+        assert distributions() == [
+            "anticorrelated", "correlated", "independent",
+        ]
+
+    @pytest.mark.parametrize(
+        "alias, canonical",
+        [
+            ("ind", "independent"),
+            ("indep", "independent"),
+            ("corr", "correlated"),
+            ("anti", "anticorrelated"),
+            ("anti-correlated", "anticorrelated"),
+            ("Independent", "independent"),
+        ],
+    )
+    def test_aliases_resolve(self, alias, canonical):
+        via_alias = list(make_stream(alias, 2, 10, seed=5))
+        direct = list(make_stream(canonical, 2, 10, seed=5))
+        assert via_alias == direct
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            make_stream("zipfian", 2, 10)
+
+    def test_materialize_equals_stream(self):
+        assert materialize("independent", 2, 25, seed=6) == list(
+            make_stream("independent", 2, 25, seed=6)
+        )

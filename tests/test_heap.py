@@ -1,0 +1,193 @@
+"""Unit and property tests for the indexed heaps (trigger lists)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DuplicateKeyError, EmptyStructureError, KeyNotFoundError
+from repro.structures.heap import IndexedHeap, MaxIndexedHeap, MinIndexedHeap
+
+
+class TestMinHeapBasics:
+    def test_push_pop_orders_ascending(self):
+        heap = IndexedHeap()
+        for key, pri in [("a", 3), ("b", 1), ("c", 2)]:
+            heap.push(key, pri)
+        assert [heap.pop() for _ in range(3)] == [("b", 1), ("c", 2), ("a", 3)]
+
+    def test_peek_does_not_remove(self):
+        heap = IndexedHeap()
+        heap.push("x", 5)
+        assert heap.peek() == ("x", 5)
+        assert len(heap) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(EmptyStructureError):
+            IndexedHeap().pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(EmptyStructureError):
+            IndexedHeap().peek()
+
+    def test_duplicate_key_rejected(self):
+        heap = IndexedHeap()
+        heap.push("x", 1)
+        with pytest.raises(DuplicateKeyError):
+            heap.push("x", 2)
+
+    def test_ties_break_by_insertion_order(self):
+        heap = IndexedHeap()
+        heap.push("first", 1)
+        heap.push("second", 1)
+        assert heap.pop()[0] == "first"
+        assert heap.pop()[0] == "second"
+
+    def test_contains_and_len(self):
+        heap = IndexedHeap()
+        heap.push(10, 1)
+        assert 10 in heap and 11 not in heap
+        assert len(heap) == 1 and bool(heap)
+        heap.pop()
+        assert not heap
+
+
+class TestDeletion:
+    def test_delete_middle_entry(self):
+        heap = IndexedHeap()
+        for i, pri in enumerate([5, 1, 4, 2, 3]):
+            heap.push(i, pri)
+        heap.delete(2)  # priority 4
+        assert sorted(p for _, p in iter_drain(heap)) == [1, 2, 3, 5]
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            IndexedHeap().delete("nope")
+
+    def test_discard_returns_flag(self):
+        heap = IndexedHeap()
+        heap.push("x", 1)
+        assert heap.discard("x") is True
+        assert heap.discard("x") is False
+
+    def test_delete_last_slot(self):
+        heap = IndexedHeap()
+        heap.push("a", 1)
+        heap.push("b", 2)
+        heap.delete("b")
+        assert heap.pop() == ("a", 1)
+
+    def test_delete_root(self):
+        heap = IndexedHeap()
+        for i in range(6):
+            heap.push(i, i)
+        heap.delete(0)
+        assert heap.peek() == (1, 1)
+
+
+class TestUpdatePriority:
+    def test_decrease_moves_up(self):
+        heap = IndexedHeap()
+        for i in range(5):
+            heap.push(i, i + 10)
+        heap.update_priority(4, 0)
+        assert heap.peek() == (4, 0)
+
+    def test_increase_moves_down(self):
+        heap = IndexedHeap()
+        for i in range(5):
+            heap.push(i, i)
+        heap.update_priority(0, 99)
+        assert heap.peek() == (1, 1)
+        drained = iter_drain(heap)
+        assert drained[-1] == (0, 99)
+
+    def test_priority_of(self):
+        heap = IndexedHeap()
+        heap.push("k", 7)
+        assert heap.priority_of("k") == 7
+        with pytest.raises(KeyNotFoundError):
+            heap.priority_of("missing")
+
+    def test_update_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            IndexedHeap().update_priority("missing", 1)
+
+
+class TestMaxHeap:
+    def test_pop_orders_descending(self):
+        heap = MaxIndexedHeap()
+        for key, pri in [("a", 3), ("b", 1), ("c", 2)]:
+            heap.push(key, pri)
+        assert [p for _, p in iter_drain(heap)] == [3, 2, 1]
+
+    def test_peek_is_maximum(self):
+        heap = MaxIndexedHeap()
+        heap.push("lo", 1)
+        heap.push("hi", 9)
+        assert heap.peek() == ("hi", 9)
+
+    def test_priority_round_trips_through_wrapper(self):
+        heap = MaxIndexedHeap()
+        heap.push("k", 42)
+        assert heap.priority_of("k") == 42
+        assert heap.pop() == ("k", 42)
+
+    def test_min_alias_is_min_ordered(self):
+        heap = MinIndexedHeap()
+        heap.push("a", 2)
+        heap.push("b", 1)
+        assert heap.pop() == ("b", 1)
+
+
+def iter_drain(heap):
+    out = []
+    while heap:
+        out.append(heap.pop())
+    return out
+
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["push", "pop", "delete", "update"]),
+              st.integers(0, 20), st.integers(-50, 50)),
+    max_size=120,
+)
+
+
+class TestHeapProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(ops, st.booleans())
+    def test_random_operations_keep_invariants(self, operations, use_max):
+        heap = MaxIndexedHeap() if use_max else IndexedHeap()
+        model = {}
+        for op, key, pri in operations:
+            if op == "push" and key not in model:
+                heap.push(key, pri)
+                model[key] = pri
+            elif op == "pop" and model:
+                popped_key, popped_pri = heap.pop()
+                expected = (max if use_max else min)(model.values())
+                assert popped_pri == expected
+                assert model.pop(popped_key) == popped_pri
+            elif op == "delete" and key in model:
+                heap.delete(key)
+                del model[key]
+            elif op == "update" and key in model:
+                heap.update_priority(key, pri)
+                model[key] = pri
+            heap.check_invariants()
+            assert len(heap) == len(model)
+        # Drain: must come out fully sorted.
+        drained = [p for _, p in iter_drain(heap)]
+        assert drained == sorted(drained, reverse=use_max)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), max_size=200))
+    def test_heapsort(self, values):
+        heap = IndexedHeap()
+        for i, v in enumerate(values):
+            heap.push(i, v)
+        assert [p for _, p in iter_drain(heap)] == sorted(values)

@@ -1,0 +1,157 @@
+"""Unit and property tests for the stabbing-query interval tree."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidIntervalError
+from repro.structures.interval_tree import Interval, IntervalTree
+
+
+class TestInterval:
+    def test_half_open_membership(self):
+        interval = Interval(2.0, 5.0, "x")
+        assert not interval.contains(2.0)  # open at the low end
+        assert interval.contains(2.0001)
+        assert interval.contains(5.0)  # closed at the high end
+        assert not interval.contains(5.0001)
+
+    def test_degenerate_interval_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(3.0, 3.0, None)
+        with pytest.raises(InvalidIntervalError):
+            Interval(4.0, 3.0, None)
+
+    def test_infinite_high_allowed(self):
+        interval = Interval(0.0, math.inf, "live")
+        assert interval.contains(1e12)
+
+    def test_repr(self):
+        assert "(1.0, 2.0]" in repr(Interval(1.0, 2.0, "p"))
+
+
+class TestStabbing:
+    def test_empty_tree_stabs_nothing(self):
+        assert IntervalTree().stab(1.0) == []
+
+    def test_paper_example_encoding(self):
+        """Example 3 of the paper: intervals (0,3], (0,4], (3,7],
+        (4,5], (4,6]; stabbing with M-n+1 = 2 returns c and e."""
+        tree = IntervalTree()
+        tree.insert(0, 3, "c")
+        tree.insert(0, 4, "e")
+        tree.insert(3, 7, "h")
+        tree.insert(4, 5, "f")
+        tree.insert(4, 6, "g")
+        assert sorted(tree.stab(2)) == ["c", "e"]
+        # n = 3 -> stab 5: f (4,5], g (4,6] and h (3,7] are all stabbed.
+        assert sorted(tree.stab(5)) == ["f", "g", "h"]
+        # n = 7 -> stab 1: only the roots.
+        assert sorted(tree.stab(1)) == ["c", "e"]
+
+    def test_duplicate_endpoints_coexist(self):
+        tree = IntervalTree()
+        a = tree.insert(1, 5, "a")
+        b = tree.insert(1, 5, "b")
+        assert sorted(tree.stab(3)) == ["a", "b"]
+        tree.remove(a)
+        assert tree.stab(3) == ["b"]
+        assert b.interval.data == "b"
+
+    def test_stab_intervals_returns_objects(self):
+        tree = IntervalTree()
+        tree.insert(0, 2, "x")
+        [interval] = tree.stab_intervals(1)
+        assert isinstance(interval, Interval)
+        assert interval.high == 2
+
+    def test_infinite_intervals_always_stabbed_above_low(self):
+        tree = IntervalTree()
+        tree.insert(10, math.inf, "live")
+        assert tree.stab(11) == ["live"]
+        assert tree.stab(10) == []
+
+
+class TestUpdates:
+    def test_remove_by_handle(self):
+        tree = IntervalTree()
+        h = tree.insert(0, 10, "x")
+        tree.insert(5, 15, "y")
+        tree.remove(h)
+        assert tree.stab(7) == ["y"]
+        assert len(tree) == 1
+
+    def test_replace_rewrites_endpoints_keeps_payload(self):
+        tree = IntervalTree()
+        h = tree.insert(4, 9, "child")
+        h2 = tree.replace(h, 0, 9)
+        assert tree.stab(2) == ["child"]
+        assert h2.interval.data == "child"
+        assert len(tree) == 1
+
+    def test_len_and_iteration(self):
+        tree = IntervalTree()
+        tree.insert(0, 1, "a")
+        tree.insert(0, 2, "b")
+        assert len(tree) == 2 and bool(tree)
+        assert [i.data for i in tree.intervals()] == ["a", "b"]
+
+    def test_many_updates_keep_invariants(self):
+        tree = IntervalTree()
+        rng = random.Random(3)
+        handles = []
+        for step in range(600):
+            if handles and rng.random() < 0.45:
+                handles.pop(rng.randrange(len(handles)))
+                # removal via replace half the time exercises both paths
+                continue
+            lo = rng.randint(0, 50)
+            hi = lo + rng.randint(1, 50)
+            handles.append(tree.insert(lo, hi, step))
+        # The tree only grew here; now remove all and re-check.
+        tree.check_invariants()
+
+
+intervals_strategy = st.lists(
+    st.tuples(st.integers(0, 60), st.integers(1, 40)), max_size=80
+)
+
+
+class TestStabbingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(intervals_strategy, st.lists(st.integers(0, 100), max_size=10),
+           st.integers(0, 100))
+    def test_matches_linear_scan(self, spans, removals, stab_at):
+        tree = IntervalTree()
+        live = {}
+        handles = {}
+        for i, (lo, width) in enumerate(spans):
+            live[i] = (lo, lo + width)
+            handles[i] = tree.insert(lo, lo + width, i)
+        for r in removals:
+            if r in handles:
+                tree.remove(handles.pop(r))
+                del live[r]
+        got = sorted(tree.stab(stab_at))
+        expected = sorted(
+            i for i, (lo, hi) in live.items() if lo < stab_at <= hi
+        )
+        assert got == expected
+        tree.check_invariants()
+
+    @settings(max_examples=40, deadline=None)
+    @given(intervals_strategy)
+    def test_insert_remove_all_leaves_empty(self, spans):
+        tree = IntervalTree()
+        handles = [tree.insert(lo, lo + w, i) for i, (lo, w) in enumerate(spans)]
+        random.Random(1).shuffle(handles)
+        for h in handles:
+            tree.remove(h)
+            tree.check_invariants()
+        assert len(tree) == 0
+        assert tree.stab(5) == []

@@ -1,0 +1,125 @@
+"""Unit tests for the ordered label set (Figure 6 wiring)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import EmptyStructureError, KeyNotFoundError
+from repro.structures.labelset import LabelSet
+
+
+class TestAppend:
+    def test_append_and_lookup(self):
+        labels = LabelSet()
+        labels.append(1, "a")
+        labels.append(5, "b")
+        assert labels.payload(1) == "a"
+        assert labels.payload(5) == "b"
+        assert len(labels) == 2
+
+    def test_append_must_be_increasing(self):
+        labels = LabelSet()
+        labels.append(5, None)
+        with pytest.raises(ValueError, match="increasing order"):
+            labels.append(5, None)
+        with pytest.raises(ValueError, match="increasing order"):
+            labels.append(3, None)
+
+    def test_reappending_current_label_rejected(self):
+        labels = LabelSet()
+        labels.append(1, None)
+        with pytest.raises(ValueError):
+            labels.append(1, None)
+
+    def test_float_labels_supported(self):
+        labels = LabelSet()
+        labels.append(0.5, "t0")
+        labels.append(1.25, "t1")
+        assert list(labels) == [0.5, 1.25]
+
+
+class TestRemove:
+    def test_remove_returns_payload(self):
+        labels = LabelSet()
+        labels.append(1, "a")
+        assert labels.remove(1) == "a"
+        assert 1 not in labels
+        assert len(labels) == 0
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            LabelSet().remove(9)
+
+    def test_remove_head_updates_oldest(self):
+        labels = LabelSet()
+        for k in (1, 2, 3):
+            labels.append(k, k)
+        labels.remove(1)
+        assert labels.oldest() == (2, 2)
+
+    def test_remove_tail_allows_no_smaller_reappend(self):
+        labels = LabelSet()
+        labels.append(1, None)
+        labels.append(2, None)
+        labels.remove(2)
+        # Monotonicity is against all labels ever seen via the current
+        # tail; after removing the tail, appending above the new tail
+        # is allowed.
+        labels.append(3, None)
+        assert list(labels) == [1, 3]
+
+    def test_remove_middle_keeps_order(self):
+        labels = LabelSet()
+        for k in range(1, 6):
+            labels.append(k, None)
+        labels.remove(3)
+        assert list(labels) == [1, 2, 4, 5]
+        labels.check_invariants()
+
+
+class TestEnds:
+    def test_oldest_and_youngest(self):
+        labels = LabelSet()
+        labels.append(2, "a")
+        labels.append(7, "b")
+        assert labels.oldest() == (2, "a")
+        assert labels.youngest() == (7, "b")
+
+    def test_ends_empty_raise(self):
+        with pytest.raises(EmptyStructureError):
+            LabelSet().oldest()
+        with pytest.raises(EmptyStructureError):
+            LabelSet().youngest()
+
+    def test_get_with_default(self):
+        labels = LabelSet()
+        labels.append(1, "x")
+        assert labels.get(1) == "x"
+        assert labels.get(2) is None
+        assert labels.get(2, "fallback") == "fallback"
+
+
+class TestIteration:
+    def test_items_in_order(self):
+        labels = LabelSet()
+        for k in (1, 4, 9):
+            labels.append(k, k * k)
+        assert list(labels.items()) == [(1, 1), (4, 16), (9, 81)]
+
+    def test_random_churn_keeps_invariants(self):
+        labels = LabelSet()
+        rng = random.Random(2)
+        next_label = 1
+        present = []
+        for _ in range(500):
+            if present and rng.random() < 0.5:
+                victim = present.pop(rng.randrange(len(present)))
+                labels.remove(victim)
+            else:
+                labels.append(next_label, None)
+                present.append(next_label)
+                next_label += rng.randint(1, 3)
+            labels.check_invariants()
+            assert list(labels) == sorted(present)

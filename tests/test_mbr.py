@@ -1,0 +1,145 @@
+"""Unit and property tests for the MBR geometry (Figure 7 region tests)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import DimensionMismatchError
+from repro.structures.mbr import MBR
+
+
+def box(lo, hi):
+    return MBR(lo, hi)
+
+
+class TestConstruction:
+    def test_from_point_is_degenerate(self):
+        b = MBR.from_point((1.0, 2.0))
+        assert b.lower == b.upper == (1.0, 2.0)
+        assert b.area() == 0.0
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="invalid MBR"):
+            MBR((2.0, 0.0), (1.0, 1.0))
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            MBR((0.0,), (1.0, 1.0))
+
+    def test_union_of_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MBR.union_of([])
+
+    def test_union_of_many(self):
+        b = MBR.union_of([box((0, 0), (1, 1)), box((2, -1), (3, 0.5))])
+        assert b.lower == (0.0, -1.0)
+        assert b.upper == (3.0, 1.0)
+
+
+class TestGeometry:
+    def test_area_and_margin(self):
+        b = box((0, 0), (2, 3))
+        assert b.area() == 6.0
+        assert b.margin() == 5.0
+
+    def test_center(self):
+        assert box((0, 0), (2, 4)).center() == (1.0, 2.0)
+
+    def test_union_commutative(self):
+        a, b = box((0, 0), (1, 1)), box((2, 2), (3, 3))
+        assert a.union(b) == b.union(a)
+
+    def test_extend_point(self):
+        b = box((0, 0), (1, 1)).extend_point((2.0, -1.0))
+        assert b.lower == (0.0, -1.0)
+        assert b.upper == (2.0, 1.0)
+
+    def test_enlargement_zero_for_contained(self):
+        outer, inner = box((0, 0), (4, 4)), box((1, 1), (2, 2))
+        assert outer.enlargement(inner) == 0.0
+        assert inner.enlargement(outer) == 15.0
+
+    def test_containment(self):
+        outer = box((0, 0), (4, 4))
+        assert outer.contains_point((4.0, 0.0))  # closed boundary
+        assert not outer.contains_point((4.1, 0.0))
+        assert outer.contains_box(box((1, 1), (4, 4)))
+        assert not outer.contains_box(box((1, 1), (5, 4)))
+
+    def test_intersects_touching_edges(self):
+        assert box((0, 0), (1, 1)).intersects(box((1, 1), (2, 2)))
+        assert not box((0, 0), (1, 1)).intersects(box((1.5, 0), (2, 1)))
+
+    def test_hash_and_eq(self):
+        assert box((0, 0), (1, 1)) == box((0, 0), (1, 1))
+        assert hash(box((0, 0), (1, 1))) == hash(box((0, 0), (1, 1)))
+        assert box((0, 0), (1, 1)) != box((0, 0), (1, 2))
+
+
+class TestDominanceRegions:
+    """The Figure 7 candidate-region / l-corner / r-corner tests."""
+
+    B = box((2.0, 2.0), (4.0, 4.0))
+
+    def test_l_corner_harvests_subtree(self):
+        # q dominates the lower corner: every box point is dominated.
+        assert self.B.fully_dominated_by((2.0, 2.0))
+        assert self.B.fully_dominated_by((0.0, 1.0))
+        assert not self.B.fully_dominated_by((3.0, 1.0))
+
+    def test_candidate_region_for_reporting(self):
+        # q below-left of the upper corner may dominate something inside.
+        assert self.B.may_contain_dominated((3.0, 3.0))
+        assert self.B.may_contain_dominated((4.0, 4.0))
+        assert not self.B.may_contain_dominated((4.5, 3.0))
+
+    def test_r_corner_terminates_search(self):
+        # The upper corner dominates q: every box point dominates q.
+        assert self.B.fully_dominates((4.0, 4.0))
+        assert self.B.fully_dominates((5.0, 6.0))
+        assert not self.B.fully_dominates((3.0, 6.0))
+
+    def test_candidate_region_for_dominators(self):
+        assert self.B.may_contain_dominator((2.0, 2.0))
+        assert self.B.may_contain_dominator((3.0, 10.0))
+        assert not self.B.may_contain_dominator((1.0, 10.0))
+
+    def test_region_tests_validate_dimension(self):
+        with pytest.raises(DimensionMismatchError):
+            self.B.may_contain_dominated((1.0,))
+
+
+coords = st.floats(min_value=-10, max_value=10, allow_nan=False, width=32)
+point2 = st.tuples(coords, coords)
+
+
+class TestRegionProperties:
+    @given(point2, point2, point2)
+    def test_region_tests_are_sound_for_contained_points(self, a, b, q):
+        lo = tuple(min(x, y) for x, y in zip(a, b))
+        hi = tuple(max(x, y) for x, y in zip(a, b))
+        box_ = MBR(lo, hi)
+        # Sample the corners of the box as witnesses.
+        corners = [
+            (lo[0], lo[1]), (lo[0], hi[1]), (hi[0], lo[1]), (hi[0], hi[1]),
+        ]
+        for corner in corners:
+            q_dominates = all(qc <= cc for qc, cc in zip(q, corner))
+            if q_dominates:
+                assert box_.may_contain_dominated(q)
+            if box_.fully_dominated_by(q):
+                assert q_dominates
+            corner_dominates_q = all(cc <= qc for cc, qc in zip(corner, q))
+            if corner_dominates_q:
+                assert box_.may_contain_dominator(q)
+            if box_.fully_dominates(q):
+                assert corner_dominates_q
+
+    @given(point2, point2)
+    def test_union_contains_both(self, a, b):
+        ba, bb = MBR.from_point(a), MBR.from_point(b)
+        u = ba.union(bb)
+        assert u.contains_point(a) and u.contains_point(b)
+        assert u.contains_box(ba) and u.contains_box(bb)

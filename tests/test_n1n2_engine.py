@@ -1,0 +1,163 @@
+"""Behavioural tests for the (n1,n2)-of-N engine (paper section 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ContinuousN1N2Query, N1N2Skyline
+from repro.exceptions import InvalidWindowError
+
+from tests.conftest import slice_skyline_kappas
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidWindowError):
+            N1N2Skyline(dim=2, capacity=0)
+        with pytest.raises(ValueError, match="dimension"):
+            N1N2Skyline(dim=0, capacity=4)
+
+    def test_fresh_engine(self):
+        engine = N1N2Skyline(dim=2, capacity=4)
+        assert engine.seen_so_far == 0
+        assert engine.window_size == 0
+        assert engine.query(1, 4) == []
+
+
+class TestWindowRetention:
+    def test_whole_window_is_kept(self):
+        """Unlike n-of-N, every window element survives — n1 could equal
+        n2, so even deeply dominated elements answer some query."""
+        engine = N1N2Skyline(dim=2, capacity=5)
+        engine.append((0.1, 0.1))
+        engine.append((0.9, 0.9))  # hopeless... except for (n1,n2)=(1,1)
+        assert engine.window_size == 2
+        # The younger element is dominated by an *older* one, so it is
+        # still non-redundant (nothing younger beats it): |R_N| = 2.
+        assert engine.rn_size == 2
+        assert [e.kappa for e in engine.query(1, 1)] == [2]
+        # The older element pushed out of R_N happens the other way:
+        engine.append((0.05, 0.05))  # dominates both
+        assert engine.window_size == 3
+        assert engine.rn_size == 1
+
+    def test_window_slides_at_capacity(self):
+        engine = N1N2Skyline(dim=1, capacity=3)
+        for i in range(5):
+            engine.append((float(i),))
+        assert engine.window_size == 3
+        assert [e.kappa for e in engine.window_elements()] == [3, 4, 5]
+
+    def test_rn_vs_window_split(self):
+        engine = N1N2Skyline(dim=2, capacity=10)
+        engine.append((0.5, 0.5))
+        engine.append((0.3, 0.3))  # dominates kappa 1
+        assert engine.window_size == 2
+        assert engine.rn_size == 1
+
+
+class TestAncestors:
+    def test_critical_and_backward_ancestors(self):
+        engine = N1N2Skyline(dim=2, capacity=10)
+        engine.append((0.5, 0.5))  # kappa 1
+        engine.append((0.7, 0.7))  # kappa 2: a = 1
+        engine.append((0.2, 0.2))  # kappa 3: dominates both
+        assert engine.ancestors(1) == (0, 3)  # b_1 = 3
+        assert engine.ancestors(2) == (1, 3)
+        assert engine.ancestors(3) == (0, None)  # in R_N: b = infinity
+
+    def test_backward_ancestor_is_oldest_younger_dominator(self):
+        engine = N1N2Skyline(dim=2, capacity=10)
+        engine.append((0.5, 0.5))  # kappa 1
+        engine.append((0.4, 0.4))  # kappa 2 dominates 1 -> b_1 = 2
+        engine.append((0.3, 0.3))  # kappa 3 dominates 1 and 2
+        assert engine.ancestors(1) == (0, 2)  # the *oldest* such, not 3
+        assert engine.ancestors(2) == (0, 3)
+
+    def test_expiry_reroots_dependents_in_both_trees(self):
+        engine = N1N2Skyline(dim=2, capacity=3)
+        engine.append((0.1, 0.1))  # kappa 1: ancestor of 2 and 3
+        engine.append((0.5, 0.5))  # kappa 2: a=1; will also be demoted
+        engine.append((0.4, 0.4))  # kappa 3: a=1, demotes 2
+        assert engine.ancestors(2) == (1, 3)
+        engine.append((0.9, 0.9))  # expels kappa 1
+        assert engine.ancestors(2) == (0, 3)
+        assert engine.ancestors(3) == (0, None)
+        engine.check_invariants()
+
+
+class TestQueries:
+    HISTORY = [
+        (0.7, 0.3), (0.2, 0.9), (0.5, 0.5), (0.3, 0.6),
+        (0.9, 0.1), (0.4, 0.4), (0.8, 0.8), (0.1, 0.95),
+    ]
+
+    @pytest.fixture
+    def engine(self):
+        engine = N1N2Skyline(dim=2, capacity=8)
+        for point in self.HISTORY:
+            engine.append(point)
+        return engine
+
+    def test_all_slices_match_oracle(self, engine):
+        for n1 in range(1, 9):
+            for n2 in range(n1, 9):
+                got = [e.kappa for e in engine.query(n1, n2)]
+                assert got == slice_skyline_kappas(self.HISTORY, n1, n2), (
+                    f"(n1, n2) = ({n1}, {n2})"
+                )
+
+    def test_parameter_validation(self, engine):
+        with pytest.raises(InvalidWindowError):
+            engine.query(0, 3)
+        with pytest.raises(InvalidWindowError):
+            engine.query(3, 2)
+        with pytest.raises(InvalidWindowError):
+            engine.query(1, 9)
+
+    def test_point_slice(self, engine):
+        # n1 == n2: the skyline of a single element is that element.
+        assert [e.kappa for e in engine.query(3, 3)] == [6]
+
+    def test_slice_predating_stream_is_empty(self):
+        engine = N1N2Skyline(dim=1, capacity=10)
+        engine.append((1.0,))
+        assert engine.query(5, 7) == []
+
+    def test_nofn_special_case_matches(self, engine):
+        for n in range(1, 9):
+            assert engine.query_nofn(n) == engine.query(1, n)
+
+    def test_query_does_not_mutate(self, engine):
+        engine.query(2, 6)
+        engine.query(1, 8)
+        engine.check_invariants()
+
+
+class TestContinuousWrapper:
+    def test_validates_bounds(self):
+        engine = N1N2Skyline(dim=2, capacity=4)
+        with pytest.raises(InvalidWindowError):
+            ContinuousN1N2Query(engine, 3, 2)
+
+    def test_tracks_slice_and_reports_delta(self):
+        engine = N1N2Skyline(dim=2, capacity=6)
+        query = ContinuousN1N2Query(engine, n1=2, n2=4)
+        added, removed = query.append((0.5, 0.5))
+        assert added == [] and removed == []  # slice still ahead of data
+        query.append((0.3, 0.3))
+        added, _ = query.append((0.9, 0.9))
+        # Now M=3: slice covers kappas [1..2] -> skyline of those two.
+        assert [e.kappa for e in query.result()] == [2]
+        assert {e.kappa for e in added} == {2}
+
+    def test_result_always_matches_engine(self):
+        engine = N1N2Skyline(dim=2, capacity=5)
+        query = ContinuousN1N2Query(engine, n1=2, n2=5)
+        points = [(0.6, 0.4), (0.2, 0.8), (0.5, 0.5), (0.7, 0.1),
+                  (0.3, 0.3), (0.9, 0.9), (0.1, 0.6)]
+        for point in points:
+            query.append(point)
+            assert [e.kappa for e in query.result()] == [
+                e.kappa for e in engine.query(2, 5)
+            ]

@@ -1,0 +1,121 @@
+"""Property-based validation of the (n1,n2)-of-N engine.
+
+Checks Theorem 4's query characterisation against the quadratic oracle
+over all slices, the CBC-graph ancestor definitions (Equations 1-2),
+and the structural invariants after arbitrary streams.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import N1N2Skyline
+from repro.core.dominance import weakly_dominates
+
+from tests.conftest import slice_skyline_kappas
+
+coord = st.integers(0, 6).map(lambda v: v / 6)
+
+
+def streams(max_dim=3, max_len=45):
+    return st.integers(1, max_dim).flatmap(
+        lambda d: st.lists(
+            st.tuples(*[coord] * d).map(tuple), min_size=1, max_size=max_len
+        )
+    )
+
+
+class TestSliceOracle:
+    @settings(max_examples=40, deadline=None)
+    @given(streams(), st.integers(1, 12))
+    def test_all_slices_match_oracle(self, history, capacity):
+        engine = N1N2Skyline(dim=len(history[0]), capacity=capacity)
+        for point in history:
+            engine.append(point)
+        for n1 in range(1, capacity + 1):
+            for n2 in range(n1, capacity + 1):
+                got = [e.kappa for e in engine.query(n1, n2)]
+                assert got == slice_skyline_kappas(history, n1, n2), (
+                    f"(n1, n2) = ({n1}, {n2})"
+                )
+
+    @settings(max_examples=20, deadline=None)
+    @given(streams(max_len=30), st.integers(1, 8))
+    def test_slices_match_at_every_step(self, history, capacity):
+        engine = N1N2Skyline(dim=len(history[0]), capacity=capacity)
+        prefix = []
+        probes = [(1, capacity), (max(1, capacity // 2), capacity),
+                  (capacity, capacity)]
+        for point in history:
+            prefix.append(point)
+            engine.append(point)
+            for n1, n2 in probes:
+                got = [e.kappa for e in engine.query(n1, n2)]
+                assert got == slice_skyline_kappas(prefix, n1, n2)
+
+
+class TestCBCGraph:
+    @settings(max_examples=40, deadline=None)
+    @given(streams(), st.integers(1, 10))
+    def test_ancestors_match_equations(self, history, capacity):
+        """a_e / b_e follow Equations (1)-(2) restricted to P_N, with
+        the youngest-copy refinement for exact duplicates (a_e skips
+        copies of e itself — DESIGN.md §7)."""
+        engine = N1N2Skyline(dim=len(history[0]), capacity=capacity)
+        for point in history:
+            engine.append(point)
+        m = len(history)
+        start = max(0, m - capacity)
+        window = {pos + 1: history[pos] for pos in range(start, m)}
+        for kappa, values in window.items():
+            a_got, b_got = engine.ancestors(kappa)
+            a_candidates = [
+                k for k, v in window.items()
+                if k < kappa and weakly_dominates(v, values)
+                and tuple(v) != tuple(values)
+            ]
+            duplicate_successors = [
+                k for k, v in window.items()
+                if k > kappa and tuple(v) == tuple(values)
+            ]
+            b_candidates = [
+                k for k, v in window.items()
+                if k > kappa and weakly_dominates(v, values)
+            ]
+            if a_candidates:
+                # The recorded ancestor may have been computed against a
+                # window that has since slid; it must still be *a*
+                # dominator and at least as young as any survivor.
+                assert a_got == max(a_candidates), f"kappa={kappa}"
+            else:
+                assert a_got == 0, f"kappa={kappa}"
+            if b_candidates:
+                assert b_got == min(b_candidates), f"kappa={kappa}"
+            else:
+                assert b_got is None, f"kappa={kappa}"
+
+    @settings(max_examples=25, deadline=None)
+    @given(streams(max_len=35), st.integers(1, 8))
+    def test_invariants_hold_at_every_step(self, history, capacity):
+        engine = N1N2Skyline(dim=len(history[0]), capacity=capacity)
+        for point in history:
+            engine.append(point)
+            engine.check_invariants()
+
+    @settings(max_examples=30, deadline=None)
+    @given(streams(max_len=40), st.integers(1, 10))
+    def test_rn_agrees_with_nofn_engine(self, history, capacity):
+        """Both engines maintain the same non-redundant set."""
+        from repro import NofNSkyline
+
+        a = N1N2Skyline(dim=len(history[0]), capacity=capacity)
+        b = NofNSkyline(dim=len(history[0]), capacity=capacity)
+        for point in history:
+            a.append(point)
+            b.append(point)
+        assert a.rn_size == b.rn_size
+        for n in (1, capacity):
+            assert [e.kappa for e in a.query_nofn(n)] == [
+                e.kappa for e in b.query(n)
+            ]

@@ -1,0 +1,149 @@
+"""Property-based validation of the n-of-N engine against oracles.
+
+The central invariants from DESIGN.md §6:
+
+* ``query(n)`` equals the quadratic oracle's skyline of the last ``n``
+  arrivals, for every ``n``, at every point of the stream;
+* ``R_N`` equals the non-redundancy definition *and* the paper's
+  Theorem 2 mapping (skyline in (d+1)-dimensional space);
+* the dominance graph is a forest whose edges connect each element to
+  its youngest older weak dominator.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import NofNSkyline
+from repro.core.dominance import weakly_dominates
+
+from tests.conftest import (
+    reference_rn_kappas,
+    reference_rn_via_mapping,
+    window_skyline_kappas,
+)
+
+# Coarse-grained coordinates provoke ties and duplicates on purpose.
+coord = st.integers(0, 7).map(lambda v: v / 7)
+
+
+def streams(max_dim=4, max_len=60):
+    return st.integers(1, max_dim).flatmap(
+        lambda d: st.lists(
+            st.tuples(*[coord] * d).map(tuple), min_size=1, max_size=max_len
+        )
+    )
+
+
+class TestQueryOracle:
+    @settings(max_examples=50, deadline=None)
+    @given(streams(), st.integers(1, 20))
+    def test_final_queries_match_oracle(self, history, capacity):
+        engine = NofNSkyline(dim=len(history[0]), capacity=capacity)
+        for point in history:
+            engine.append(point)
+        for n in range(1, capacity + 1):
+            assert [e.kappa for e in engine.query(n)] == (
+                window_skyline_kappas(history, min(n, len(history)))
+            ), f"n={n}"
+
+    @settings(max_examples=25, deadline=None)
+    @given(streams(max_dim=3, max_len=40), st.integers(1, 10))
+    def test_queries_match_oracle_at_every_step(self, history, capacity):
+        engine = NofNSkyline(dim=len(history[0]), capacity=capacity)
+        prefix = []
+        for point in history:
+            prefix.append(point)
+            engine.append(point)
+            for n in (1, capacity // 2 or 1, capacity):
+                assert [e.kappa for e in engine.query(n)] == (
+                    window_skyline_kappas(prefix, min(n, len(prefix)))
+                )
+
+
+class TestQueryScanEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(streams(max_dim=3), st.integers(1, 15))
+    def test_query_scan_matches_stabbing_query(self, history, capacity):
+        """Theorem 3 applied by scan must equal the interval-tree stab
+        (two independent implementations of the same theorem)."""
+        engine = NofNSkyline(dim=len(history[0]), capacity=capacity)
+        for point in history:
+            engine.append(point)
+        for n in range(1, capacity + 1):
+            assert engine.query_scan(n) == engine.query(n), f"n={n}"
+
+
+class TestRNMinimality:
+    @settings(max_examples=50, deadline=None)
+    @given(streams(), st.integers(1, 15))
+    def test_rn_matches_definition(self, history, capacity):
+        engine = NofNSkyline(dim=len(history[0]), capacity=capacity)
+        for point in history:
+            engine.append(point)
+        got = [e.kappa for e in engine.non_redundant()]
+        assert got == reference_rn_kappas(history, capacity)
+
+    @settings(max_examples=50, deadline=None)
+    @given(streams(), st.integers(1, 15))
+    def test_rn_matches_theorem2_mapping(self, history, capacity):
+        """R_N == skyline of {(x, M - kappa)} in (d+1)-space."""
+        engine = NofNSkyline(dim=len(history[0]), capacity=capacity)
+        for point in history:
+            engine.append(point)
+        got = [e.kappa for e in engine.non_redundant()]
+        assert got == reference_rn_via_mapping(history, capacity)
+
+    @settings(max_examples=30, deadline=None)
+    @given(streams(max_dim=3), st.integers(1, 15))
+    def test_every_rn_member_answers_some_query(self, history, capacity):
+        """Theorem 1(2): each non-redundant element is a skyline point
+        for some n <= N."""
+        engine = NofNSkyline(dim=len(history[0]), capacity=capacity)
+        for point in history:
+            engine.append(point)
+        reported = set()
+        for n in range(1, capacity + 1):
+            reported.update(e.kappa for e in engine.query(n))
+        assert reported == {e.kappa for e in engine.non_redundant()}
+
+
+class TestDominanceGraphShape:
+    @settings(max_examples=40, deadline=None)
+    @given(streams(max_dim=3), st.integers(1, 12))
+    def test_edges_point_to_youngest_older_dominator(self, history, capacity):
+        engine = NofNSkyline(dim=len(history[0]), capacity=capacity)
+        for point in history:
+            engine.append(point)
+        rn = {e.kappa: e.values for e in engine.non_redundant()}
+        for parent_kappa, child_kappa in engine.dominance_graph_edges():
+            child_values = rn[child_kappa]
+            dominators = [
+                k
+                for k, values in rn.items()
+                if k < child_kappa and weakly_dominates(values, child_values)
+            ]
+            if parent_kappa == 0:
+                assert not dominators
+            else:
+                assert parent_kappa == max(dominators)
+
+    @settings(max_examples=40, deadline=None)
+    @given(streams(max_dim=3), st.integers(1, 12))
+    def test_graph_is_a_forest(self, history, capacity):
+        engine = NofNSkyline(dim=len(history[0]), capacity=capacity)
+        for point in history:
+            engine.append(point)
+        edges = engine.dominance_graph_edges()
+        children = [child for _, child in edges]
+        assert len(children) == len(set(children)), "one incoming edge each"
+        engine.check_invariants()
+
+    @settings(max_examples=25, deadline=None)
+    @given(streams(max_dim=3, max_len=50), st.integers(1, 10))
+    def test_invariants_hold_at_every_step(self, history, capacity):
+        engine = NofNSkyline(dim=len(history[0]), capacity=capacity)
+        for point in history:
+            engine.append(point)
+            engine.check_invariants()

@@ -1,0 +1,188 @@
+"""Tests for engine snapshot / restore."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import N1N2Skyline, NofNSkyline, TimeWindowSkyline
+from repro.core.persistence import SnapshotError, dumps, loads, restore, snapshot
+from repro.streams import materialize
+
+
+class TestNofNRoundTrip:
+    def test_queries_survive_round_trip(self):
+        engine = NofNSkyline(dim=2, capacity=50)
+        for point in materialize("anticorrelated", 2, 120, seed=1):
+            engine.append(point)
+        clone = restore(snapshot(engine))
+        for n in range(1, 51):
+            assert [e.kappa for e in clone.query(n)] == [
+                e.kappa for e in engine.query(n)
+            ]
+        clone.check_invariants()
+
+    def test_clone_keeps_evolving_identically(self):
+        points = materialize("independent", 3, 150, seed=2)
+        engine = NofNSkyline(dim=3, capacity=40)
+        for point in points[:100]:
+            engine.append(point)
+        clone = restore(snapshot(engine))
+        for point in points[100:]:
+            engine.append(point)
+            clone.append(point)
+        assert engine.dominance_graph_edges() == clone.dominance_graph_edges()
+        assert [e.kappa for e in engine.skyline()] == [
+            e.kappa for e in clone.skyline()
+        ]
+
+    def test_payloads_and_stats_preserved(self):
+        engine = NofNSkyline(dim=1, capacity=5)
+        engine.append((1.0,), payload={"deal": 1})
+        engine.query(1)
+        clone = restore(snapshot(engine))
+        assert clone.stats.arrivals == 1
+        assert clone.stats.queries == 1  # the clone's own queries: none yet
+        [element] = clone.skyline()
+        assert element.payload == {"deal": 1}
+
+    def test_json_round_trip(self):
+        engine = NofNSkyline(dim=2, capacity=10)
+        for point in materialize("correlated", 2, 30, seed=3):
+            engine.append(point)
+        clone = loads(dumps(engine))
+        assert [e.kappa for e in clone.skyline()] == [
+            e.kappa for e in engine.skyline()
+        ]
+
+    def test_empty_engine_round_trip(self):
+        clone = restore(snapshot(NofNSkyline(dim=2, capacity=7)))
+        assert clone.seen_so_far == 0
+        assert clone.skyline() == []
+        clone.append((0.5, 0.5))
+        assert [e.kappa for e in clone.skyline()] == [1]
+
+
+class TestTimeWindowRoundTrip:
+    def test_clock_and_horizon_preserved(self):
+        engine = TimeWindowSkyline(dim=2, horizon=10.0)
+        engine.append((0.5, 0.5), timestamp=1.5)
+        engine.append((0.2, 0.8), timestamp=3.0)
+        clone = restore(snapshot(engine))
+        assert isinstance(clone, TimeWindowSkyline)
+        assert clone.now == 3.0
+        assert clone.horizon == 10.0
+        assert [e.kappa for e in clone.query_last(5.0)] == [
+            e.kappa for e in engine.query_last(5.0)
+        ]
+        # Evolution continues: timestamps must still increase.
+        clone.append((0.1, 0.1), timestamp=4.0)
+        with pytest.raises(ValueError):
+            clone.append((0.3, 0.3), timestamp=4.0)
+
+
+class TestN1N2RoundTrip:
+    def test_all_slices_survive_round_trip(self):
+        engine = N1N2Skyline(dim=2, capacity=20)
+        for point in materialize("anticorrelated", 2, 50, seed=4):
+            engine.append(point)
+        clone = restore(snapshot(engine))
+        for n1 in range(1, 21, 3):
+            for n2 in range(n1, 21, 3):
+                assert [e.kappa for e in clone.query(n1, n2)] == [
+                    e.kappa for e in engine.query(n1, n2)
+                ]
+        clone.check_invariants()
+
+    def test_ancestors_preserved(self):
+        engine = N1N2Skyline(dim=2, capacity=10)
+        for point in materialize("independent", 2, 25, seed=5):
+            engine.append(point)
+        clone = restore(snapshot(engine))
+        for element in engine.window_elements():
+            assert clone.ancestors(element.kappa) == (
+                engine.ancestors(element.kappa)
+            )
+
+    def test_clone_keeps_evolving_identically(self):
+        points = materialize("independent", 2, 80, seed=6)
+        engine = N1N2Skyline(dim=2, capacity=15)
+        for point in points[:50]:
+            engine.append(point)
+        clone = restore(snapshot(engine))
+        for point in points[50:]:
+            engine.append(point)
+            clone.append(point)
+        assert [e.kappa for e in clone.query(3, 12)] == [
+            e.kappa for e in engine.query(3, 12)
+        ]
+        clone.check_invariants()
+
+
+class TestValidation:
+    def test_rejects_non_dict(self):
+        with pytest.raises(SnapshotError):
+            restore("not a dict")  # type: ignore[arg-type]
+
+    def test_rejects_unknown_version(self):
+        snap = snapshot(NofNSkyline(dim=1, capacity=2))
+        snap["format"] = 99
+        with pytest.raises(SnapshotError, match="format"):
+            restore(snap)
+
+    def test_rejects_unknown_kind(self):
+        snap = snapshot(NofNSkyline(dim=1, capacity=2))
+        snap["kind"] = "mystery"
+        with pytest.raises(SnapshotError, match="kind"):
+            restore(snap)
+
+    def test_rejects_missing_parent(self):
+        engine = NofNSkyline(dim=1, capacity=4)
+        engine.append((1.0,))
+        engine.append((2.0,))  # child of kappa 1
+        snap = snapshot(engine)
+        snap["records"] = [r for r in snap["records"] if r["kappa"] != 1]
+        with pytest.raises(SnapshotError, match="missing"):
+            restore(snap)
+
+    def test_rejects_unsupported_engine(self):
+        with pytest.raises(SnapshotError, match="unsupported"):
+            snapshot(object())  # type: ignore[arg-type]
+
+
+class TestPropertyRoundTrip:
+    coord = st.integers(0, 6).map(lambda v: v / 6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=40),
+        st.integers(1, 10),
+    )
+    def test_nofn_round_trip_equivalence(self, history, capacity):
+        engine = NofNSkyline(dim=2, capacity=capacity)
+        for point in history:
+            engine.append(point)
+        clone = restore(snapshot(engine))
+        clone.check_invariants()
+        for n in range(1, capacity + 1):
+            assert [e.kappa for e in clone.query(n)] == [
+                e.kappa for e in engine.query(n)
+            ]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=40),
+        st.integers(1, 10),
+    )
+    def test_n1n2_round_trip_equivalence(self, history, capacity):
+        engine = N1N2Skyline(dim=2, capacity=capacity)
+        for point in history:
+            engine.append(point)
+        clone = restore(snapshot(engine))
+        clone.check_invariants()
+        for n1 in range(1, capacity + 1, 2):
+            for n2 in range(n1, capacity + 1, 2):
+                assert [e.kappa for e in clone.query(n1, n2)] == [
+                    e.kappa for e in engine.query(n1, n2)
+                ]

@@ -1,0 +1,92 @@
+"""Public API surface and exception-hierarchy tests."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestPackageSurface:
+    def test_version_is_exposed(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_engines_importable_from_top_level(self):
+        assert repro.NofNSkyline is not None
+        assert repro.N1N2Skyline is not None
+        assert repro.TimeWindowSkyline is not None
+        assert repro.ContinuousQueryManager is not None
+
+    def test_subpackage_all_names_resolve(self):
+        import repro.baselines as baselines
+        import repro.bench as bench
+        import repro.core as core
+        import repro.streams as streams
+        import repro.structures as structures
+
+        for module in (baselines, bench, core, streams, structures):
+            for name in module.__all__:
+                assert getattr(module, name, None) is not None, (
+                    f"{module.__name__}.{name}"
+                )
+
+    def test_public_classes_have_docstrings(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"
+
+    def test_public_methods_have_docstrings(self):
+        for cls in (
+            repro.NofNSkyline,
+            repro.N1N2Skyline,
+            repro.TimeWindowSkyline,
+            repro.ContinuousQueryManager,
+        ):
+            for name, member in inspect.getmembers(cls):
+                if name.startswith("_"):
+                    continue
+                if inspect.isfunction(member):
+                    assert member.__doc__, f"{cls.__name__}.{name}"
+
+
+class TestExceptionHierarchy:
+    ALL_ERRORS = [
+        exceptions.DimensionMismatchError,
+        exceptions.DuplicateKeyError,
+        exceptions.EmptyStructureError,
+        exceptions.InvalidIntervalError,
+        exceptions.InvalidWindowError,
+        exceptions.KeyNotFoundError,
+        exceptions.QueryNotRegisteredError,
+        exceptions.StreamExhaustedError,
+    ]
+
+    @pytest.mark.parametrize("error_cls", ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, error_cls):
+        assert issubclass(error_cls, exceptions.ReproError)
+        assert issubclass(error_cls, Exception)
+
+    def test_one_except_clause_catches_library_errors(self):
+        engine = repro.NofNSkyline(dim=2, capacity=3)
+        with pytest.raises(exceptions.ReproError):
+            engine.query(99)
+
+    def test_dimension_mismatch_carries_context(self):
+        err = exceptions.DimensionMismatchError(3, 2)
+        assert err.expected == 3
+        assert err.actual == 2
+        assert "3" in str(err) and "2" in str(err)
+
+    def test_engine_errors_are_catchable_specifically(self):
+        engine = repro.NofNSkyline(dim=2, capacity=3)
+        with pytest.raises(exceptions.InvalidWindowError):
+            engine.query(0)

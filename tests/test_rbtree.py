@@ -1,0 +1,181 @@
+"""Unit and property tests for the red-black tree substrate."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DuplicateKeyError, EmptyStructureError, KeyNotFoundError
+from repro.structures.rbtree import NIL, RedBlackTree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = RedBlackTree()
+        assert len(tree) == 0
+        assert not tree
+        assert tree.root is NIL
+        assert 5 not in tree
+
+    def test_insert_and_find(self):
+        tree = RedBlackTree()
+        tree.insert(2, "two")
+        tree.insert(1, "one")
+        tree.insert(3, "three")
+        assert tree.find(2).value == "two"
+        assert tree.find(99).is_nil()
+        assert 1 in tree and 99 not in tree
+        assert len(tree) == 3
+
+    def test_duplicate_insert_rejected(self):
+        tree = RedBlackTree()
+        tree.insert(1, "a")
+        with pytest.raises(DuplicateKeyError):
+            tree.insert(1, "b")
+
+    def test_items_in_sorted_order(self):
+        tree = RedBlackTree()
+        for key in [5, 3, 8, 1, 4, 7, 9, 2, 6]:
+            tree.insert(key, key * 10)
+        assert list(tree.keys()) == list(range(1, 10))
+        assert list(tree.items())[0] == (1, 10)
+
+    def test_min_and_max(self):
+        tree = RedBlackTree()
+        for key in [5, 1, 9]:
+            tree.insert(key, None)
+        assert tree.min_node().key == 1
+        assert tree.max_node().key == 9
+
+    def test_min_empty_raises(self):
+        with pytest.raises(EmptyStructureError):
+            RedBlackTree().min_node()
+        with pytest.raises(EmptyStructureError):
+            RedBlackTree().max_node()
+
+    def test_successor_walk(self):
+        tree = RedBlackTree()
+        for key in [4, 2, 6, 1, 3, 5, 7]:
+            tree.insert(key, None)
+        node = tree.min_node()
+        seen = []
+        while not node.is_nil():
+            seen.append(node.key)
+            node = tree.successor(node)
+        assert seen == [1, 2, 3, 4, 5, 6, 7]
+
+
+class TestDeletion:
+    def test_delete_returns_value(self):
+        tree = RedBlackTree()
+        tree.insert(1, "one")
+        assert tree.delete(1) == "one"
+        assert len(tree) == 0
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            RedBlackTree().delete(1)
+
+    def test_delete_leaf_internal_and_root(self):
+        tree = RedBlackTree()
+        for key in range(1, 8):
+            tree.insert(key, None)
+        tree.check_invariants()
+        tree.delete(7)  # leaf-ish
+        tree.delete(4)  # likely internal / root area
+        tree.delete(1)
+        tree.check_invariants()
+        assert list(tree.keys()) == [2, 3, 5, 6]
+
+    def test_delete_node_with_two_children_preserves_handles(self):
+        tree = RedBlackTree()
+        nodes = {k: tree.insert(k, f"v{k}") for k in [10, 5, 15, 3, 7, 12, 20]}
+        # Deleting 10 splices its successor (12); the 12 handle must
+        # still reference a live node with its own key/value.
+        tree.delete_node(nodes[10])
+        assert tree.find(12) is nodes[12]
+        assert nodes[12].value == "v12"
+        tree.check_invariants()
+
+    def test_interleaved_insert_delete(self):
+        tree = RedBlackTree()
+        rng = random.Random(5)
+        present = set()
+        for step in range(800):
+            key = rng.randrange(100)
+            if key in present:
+                tree.delete(key)
+                present.discard(key)
+            else:
+                tree.insert(key, step)
+                present.add(key)
+            if step % 50 == 0:
+                tree.check_invariants()
+        assert sorted(present) == list(tree.keys())
+        tree.check_invariants()
+
+
+class TestAugmentation:
+    @staticmethod
+    def _size_augment(node):
+        node.aggregate = 1
+        if not node.left.is_nil():
+            node.aggregate += node.left.aggregate
+        if not node.right.is_nil():
+            node.aggregate += node.right.aggregate
+
+    def test_subtree_size_augmentation_tracks_membership(self):
+        tree = RedBlackTree(augment=self._size_augment)
+        rng = random.Random(9)
+        present = set()
+        for step in range(400):
+            key = rng.randrange(60)
+            if key in present:
+                tree.delete(key)
+                present.discard(key)
+            else:
+                tree.insert(key, None)
+                present.add(key)
+            if present:
+                assert tree.root.aggregate == len(present)
+            self._assert_sizes(tree.root)
+
+    def _assert_sizes(self, node):
+        if node.is_nil():
+            return 0
+        left = self._assert_sizes(node.left)
+        right = self._assert_sizes(node.right)
+        assert node.aggregate == left + right + 1
+        return node.aggregate
+
+
+keys = st.lists(st.integers(-200, 200), max_size=150)
+
+
+class TestTreeProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(keys, keys)
+    def test_matches_dict_model(self, inserts, deletes):
+        tree = RedBlackTree()
+        model = {}
+        for key in inserts:
+            if key not in model:
+                tree.insert(key, -key)
+                model[key] = -key
+        for key in deletes:
+            if key in model:
+                assert tree.delete(key) == model.pop(key)
+        tree.check_invariants()
+        assert list(tree.items()) == sorted(model.items())
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 10_000), min_size=1, unique=True))
+    def test_sorted_iteration(self, values):
+        tree = RedBlackTree()
+        for v in values:
+            tree.insert(v, None)
+        assert list(tree.keys()) == sorted(values)
+        tree.check_invariants()

@@ -1,0 +1,137 @@
+"""Tests for the stream harness and snapshot sampling utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import NofNSkyline
+from repro.exceptions import StreamExhaustedError
+from repro.streams import (
+    DataStream,
+    feed,
+    random_n1n2_pairs,
+    random_n_values,
+    snapshot_positions,
+)
+
+
+class TestDataStream:
+    def test_synthetic_stream_reads_points(self):
+        stream = DataStream.synthetic("independent", dim=2, count=5, seed=1)
+        points = stream.take(5)
+        assert len(points) == 5
+        assert stream.position == 5
+
+    def test_exhaustion_raises(self):
+        stream = DataStream.synthetic("independent", dim=2, count=2, seed=1)
+        stream.take(2)
+        with pytest.raises(StreamExhaustedError):
+            stream.next()
+
+    def test_restart_replays_identically(self):
+        stream = DataStream.synthetic("correlated", dim=3, count=10, seed=2)
+        first = stream.take(10)
+        stream.restart()
+        assert stream.take(10) == first
+        assert stream.position == 10
+
+    def test_from_points(self):
+        stream = DataStream.from_points([(1, 2), (3, 4)])
+        assert stream.dim == 2
+        assert stream.take(2) == [(1.0, 2.0), (3.0, 4.0)]
+
+    def test_from_points_needs_dim_for_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            DataStream.from_points([])
+        stream = DataStream.from_points([], dim=3)
+        assert list(stream) == []
+
+    def test_dimension_checked_on_read(self):
+        stream = DataStream(lambda: iter([(1.0, 2.0, 3.0)]), dim=2)
+        with pytest.raises(ValueError, match="2"):
+            stream.next()
+
+    def test_iteration_stops_at_exhaustion(self):
+        stream = DataStream.synthetic("independent", dim=1, count=4, seed=3)
+        assert len(list(stream)) == 4
+
+    def test_take_validation(self):
+        stream = DataStream.from_points([(1.0,)])
+        with pytest.raises(ValueError):
+            stream.take(-1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="dimension"):
+            DataStream(lambda: iter([]), dim=0)
+
+
+class TestFeed:
+    def test_feeds_whole_stream(self):
+        engine = NofNSkyline(dim=2, capacity=10)
+        stream = DataStream.synthetic("independent", dim=2, count=7, seed=4)
+        assert feed(engine, stream) == 7
+        assert engine.seen_so_far == 7
+
+    def test_limit_respected(self):
+        engine = NofNSkyline(dim=2, capacity=10)
+        stream = DataStream.synthetic("independent", dim=2, count=10, seed=4)
+        assert feed(engine, stream, limit=3) == 3
+        assert engine.seen_so_far == 3
+
+
+class TestSnapshotPositions:
+    def test_positions_within_bounds_and_sorted(self):
+        positions = snapshot_positions(1000, window=100, count=50, seed=1)
+        assert len(positions) == 50
+        assert positions == sorted(positions)
+        assert all(100 <= p <= 1000 for p in positions)
+
+    def test_without_replacement_when_range_allows(self):
+        positions = snapshot_positions(200, window=100, count=50, seed=2)
+        assert len(set(positions)) == 50
+
+    def test_with_replacement_when_count_exceeds_span(self):
+        positions = snapshot_positions(105, window=100, count=20, seed=3)
+        assert len(positions) == 20  # only 6 candidate slots
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            snapshot_positions(50, window=100, count=5)
+        with pytest.raises(ValueError, match="count"):
+            snapshot_positions(100, window=10, count=0)
+
+    def test_deterministic(self):
+        a = snapshot_positions(1000, 100, 10, seed=7)
+        b = snapshot_positions(1000, 100, 10, seed=7)
+        assert a == b
+
+
+class TestQueryParameterSampling:
+    def test_n_values_in_range(self):
+        values = random_n_values(1000, 100, seed=1, minimum=10)
+        assert len(values) == 100
+        assert all(10 <= v <= 1000 for v in values)
+
+    def test_n_values_validation(self):
+        with pytest.raises(ValueError):
+            random_n_values(10, 5, minimum=0)
+        with pytest.raises(ValueError):
+            random_n_values(10, 5, minimum=11)
+
+    def test_n1n2_pairs_respect_gap(self):
+        pairs = random_n1n2_pairs(1000, 100, min_gap=50, seed=2)
+        assert len(pairs) == 100
+        for n1, n2 in pairs:
+            assert 1 <= n1 <= n2 <= 1000
+            assert n2 - n1 >= 50
+
+    def test_n1n2_validation(self):
+        with pytest.raises(ValueError):
+            random_n1n2_pairs(100, 5, min_gap=100)
+        with pytest.raises(ValueError):
+            random_n1n2_pairs(100, 5, min_gap=-1)
+
+    def test_pairs_deterministic(self):
+        assert random_n1n2_pairs(100, 10, 5, seed=3) == (
+            random_n1n2_pairs(100, 10, 5, seed=3)
+        )

@@ -1,0 +1,114 @@
+"""Bounded soak tests: long mixed workloads with full validation.
+
+These run longer streams than the unit tests (still a few seconds
+total) and validate *everything simultaneously* — engine agreement,
+invariants, continuous-query tracking — the way a production deployment
+would exercise the library.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    ContinuousQueryManager,
+    KSkybandEngine,
+    LinearScanNofNSkyline,
+    N1N2Skyline,
+    NofNSkyline,
+)
+from repro.core.persistence import restore, snapshot
+from repro.streams import materialize
+
+
+class TestMixedSoak:
+    @pytest.mark.parametrize("dist", ["independent", "anticorrelated"])
+    def test_all_engines_agree_over_long_stream(self, dist):
+        dim, capacity, length = 3, 60, 900
+        points = materialize(dist, dim, length, seed=211)
+        rng = random.Random(31)
+
+        nofn = NofNSkyline(dim, capacity)
+        linear = LinearScanNofNSkyline(dim, capacity)
+        n1n2 = N1N2Skyline(dim, capacity)
+        band1 = KSkybandEngine(dim, capacity, k=1)
+        manager = ContinuousQueryManager(nofn)
+        handles = [manager.register(n) for n in (7, 30, capacity)]
+
+        for i, point in enumerate(points):
+            manager.append(point)
+            linear.append(point)
+            n1n2.append(point)
+            band1.append(point)
+            if i % 60 == 0:
+                n = rng.randint(1, capacity)
+                reference = [e.kappa for e in nofn.query(n)]
+                assert [e.kappa for e in linear.query(n)] == reference
+                assert [e.kappa for e in n1n2.query_nofn(n)] == reference
+                assert [e.kappa for e in band1.query(n)] == reference
+                for handle in handles:
+                    assert handle.result_kappas() == [
+                        e.kappa for e in nofn.query(handle.n)
+                    ]
+        nofn.check_invariants()
+        linear.check_invariants()
+        n1n2.check_invariants()
+        band1.check_invariants()
+
+    def test_snapshot_mid_soak_then_diverge_free(self):
+        dim, capacity = 2, 50
+        points = materialize("anticorrelated", dim, 600, seed=223)
+        engine = NofNSkyline(dim, capacity)
+        clone = None
+        for i, point in enumerate(points):
+            engine.append(point)
+            if i == 299:
+                clone = restore(snapshot(engine))
+            elif clone is not None:
+                clone.append(point)
+        assert clone is not None
+        assert clone.dominance_graph_edges() == engine.dominance_graph_edges()
+        for n in (1, 25, capacity):
+            assert [e.kappa for e in clone.query(n)] == [
+                e.kappa for e in engine.query(n)
+            ]
+
+    def test_tiny_windows_under_churn(self):
+        """Degenerate window sizes shake out off-by-one expiry bugs."""
+        rng = random.Random(41)
+        for capacity in (1, 2, 3):
+            engine = NofNSkyline(2, capacity)
+            for step in range(300):
+                engine.append((rng.random(), rng.random()))
+                assert engine.rn_size <= capacity
+                result = engine.query(capacity)
+                assert 1 <= len(result) <= capacity
+                assert result[-1].kappa <= engine.seen_so_far
+            engine.check_invariants()
+
+    def test_adversarial_monotone_streams(self):
+        """Strictly improving and strictly worsening streams hit the
+        two extreme dominance-graph shapes (all-roots vs one chain)."""
+        capacity = 40
+        improving = NofNSkyline(1, capacity)
+        worsening = NofNSkyline(1, capacity)
+        for i in range(200):
+            improving.append((float(1000 - i),))  # each dominates all before
+            worsening.append((float(i),))  # each dominated by all before
+        assert improving.rn_size == 1  # only the newest survives
+        assert worsening.rn_size == capacity  # nothing can be pruned
+        assert len(worsening.query(capacity)) == 1  # chain: single skyline
+        assert len(worsening.query(1)) == 1
+        improving.check_invariants()
+        worsening.check_invariants()
+
+    def test_constant_stream(self):
+        """An all-identical stream: youngest-copy convention throughout."""
+        engine = NofNSkyline(2, 10)
+        for _ in range(50):
+            engine.append((0.5, 0.5))
+        assert engine.rn_size == 1
+        assert [e.kappa for e in engine.query(10)] == [50]
+        engine.check_invariants()
