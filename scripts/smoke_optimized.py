@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Smoke pass for ``python -O`` deployments.
+
+``-O`` strips ``assert`` statements, so any safety check the engines
+rely on in production must be a real exception.  This script exercises
+every engine's hot path — per-element and batched — under whatever
+optimisation level it is launched with, and verifies that:
+
+* per-element and batched ingestion agree on query results;
+* the root-expiry structural check still fires as a catchable
+  :class:`~repro.exceptions.StructureCorruptionError` (it was once a
+  bare ``assert``, silently erased by ``-O``).
+
+Exits non-zero on the first discrepancy.  Run as:
+
+    PYTHONPATH=src python -O scripts/smoke_optimized.py
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro import (
+    ContinuousQueryManager,
+    KSkybandEngine,
+    N1N2Skyline,
+    NofNSkyline,
+    TimeWindowSkyline,
+)
+from repro.exceptions import StructureCorruptionError
+
+
+def check(condition: bool, message: str) -> None:
+    # Deliberately not ``assert``: this script must also fail under -O.
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def points_stream(count: int, dim: int, seed: int):
+    rng = random.Random(seed)
+    return [tuple(rng.random() for _ in range(dim)) for _ in range(count)]
+
+
+def smoke_nofn() -> None:
+    points = points_stream(400, 3, seed=1)
+    elem = NofNSkyline(dim=3, capacity=100)
+    for p in points:
+        elem.append(p)
+    batched = NofNSkyline(dim=3, capacity=100)
+    batched.append_many(points[:250])
+    batched.append_many(points[250:])
+    for n in (1, 50, 100):
+        check(
+            [e.kappa for e in batched.query(n)]
+            == [e.kappa for e in elem.query(n)],
+            f"NofN batched/per-element mismatch at n={n}",
+        )
+    batched.check_invariants()
+
+
+def smoke_timewindow() -> None:
+    points = points_stream(200, 2, seed=2)
+    stamps = [0.5 * (i + 1) for i in range(len(points))]
+    elem = TimeWindowSkyline(dim=2, horizon=20.0)
+    for p, t in zip(points, stamps):
+        elem.append(p, t)
+    batched = TimeWindowSkyline(dim=2, horizon=20.0)
+    batched.append_many(points, stamps)
+    check(
+        [e.kappa for e in batched.skyline()]
+        == [e.kappa for e in elem.skyline()],
+        "TimeWindow batched/per-element mismatch",
+    )
+
+
+def smoke_n1n2() -> None:
+    points = points_stream(200, 2, seed=3)
+    elem = N1N2Skyline(dim=2, capacity=60)
+    for p in points:
+        elem.append(p)
+    batched = N1N2Skyline(dim=2, capacity=60)
+    batched.append_many(points)
+    for n1, n2 in ((1, 60), (10, 40), (60, 60)):
+        check(
+            [e.kappa for e in batched.query(n1, n2)]
+            == [e.kappa for e in elem.query(n1, n2)],
+            f"N1N2 batched/per-element mismatch at ({n1},{n2})",
+        )
+    batched.check_invariants()
+
+
+def smoke_skyband() -> None:
+    points = points_stream(200, 2, seed=4)
+    elem = KSkybandEngine(dim=2, capacity=50, k=3)
+    for p in points:
+        elem.append(p)
+    batched = KSkybandEngine(dim=2, capacity=50, k=3)
+    batched.append_many(points)
+    check(
+        [e.kappa for e in batched.skyband()]
+        == [e.kappa for e in elem.skyband()],
+        "KSkyband batched/per-element mismatch",
+    )
+    batched.check_invariants()
+
+
+def smoke_continuous() -> None:
+    points = points_stream(150, 2, seed=5)
+    manager = ContinuousQueryManager(NofNSkyline(dim=2, capacity=40))
+    handle = manager.register(25)
+    manager.append_many(points)
+    reference = NofNSkyline(dim=2, capacity=40)
+    for p in points:
+        reference.append(p)
+    check(
+        handle.result_kappas() == [e.kappa for e in reference.query(25)],
+        "continuous-query result mismatch after batched feed",
+    )
+
+
+def smoke_corruption_check_survives_dash_o() -> None:
+    engine = NofNSkyline(dim=2, capacity=2)
+    engine.append((0.2, 0.8))
+    engine.append((0.8, 0.2))
+    engine._records[1].parent_kappa = 99  # simulate corruption
+    try:
+        engine.append((0.9, 0.9))  # forces expiry of the corrupted root
+    except StructureCorruptionError:
+        return
+    check(False, "corrupted root expired without StructureCorruptionError "
+                 "(check erased by -O?)")
+
+
+def main() -> int:
+    smoke_nofn()
+    smoke_timewindow()
+    smoke_n1n2()
+    smoke_skyband()
+    smoke_continuous()
+    smoke_corruption_check_survives_dash_o()
+    mode = "optimized (-O)" if not __debug__ else "debug"
+    print(f"smoke_optimized: all engines OK [{mode}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ data-structure substrates (interval tree, R-tree, heaps).
 from repro.core import (
     ApproxNofNSkyline,
     ArrivalOutcome,
+    BatchOutcome,
     ContinuousN1N2Query,
     ContinuousQueryHandle,
     ContinuousQueryManager,
@@ -48,6 +49,7 @@ from repro.exceptions import (
     QueryNotRegisteredError,
     ReproError,
     StreamExhaustedError,
+    StructureCorruptionError,
 )
 
 __version__ = "1.0.0"
@@ -55,6 +57,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ApproxNofNSkyline",
     "ArrivalOutcome",
+    "BatchOutcome",
     "ContinuousN1N2Query",
     "ContinuousQueryHandle",
     "ContinuousQueryManager",
@@ -74,6 +77,7 @@ __all__ = [
     "ReproError",
     "StreamElement",
     "StreamExhaustedError",
+    "StructureCorruptionError",
     "TimeWindowSkyline",
     "__version__",
     "dominates",

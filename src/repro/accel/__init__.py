@@ -3,9 +3,22 @@
 The core library is dependency-free; this subpackage hosts the
 vectorised implementations for users who batch-process large static
 point sets (e.g. seeding a window from history) and already have NumPy
-around.
+around, plus the intra-batch dominance prefilter behind the engines'
+``append_many`` fast path.
+
+Importing the package never requires NumPy: the static-skyline helpers
+are only exported when NumPy is importable, and
+:mod:`repro.accel.batch_prefilter` falls back to a pure-Python
+implementation (slower, identical results) without it.
 """
 
-from repro.accel.numpy_skyline import numpy_skyline, pareto_mask
+from repro.accel.batch_prefilter import BatchPrefilter, intra_batch_survivors
 
-__all__ = ["numpy_skyline", "pareto_mask"]
+__all__ = ["BatchPrefilter", "intra_batch_survivors"]
+
+try:
+    from repro.accel.numpy_skyline import numpy_skyline, pareto_mask
+except ImportError:  # pragma: no cover - NumPy not installed
+    pass
+else:
+    __all__ += ["numpy_skyline", "pareto_mask"]

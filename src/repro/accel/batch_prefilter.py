@@ -1,0 +1,171 @@
+"""Vectorised intra-batch dominance prefilter for batched ingestion.
+
+Real feeds deliver points in bursts, and Theorem 2 (``E[|R_N|] =
+O(log^d N)``) says almost every burst member is dominated quickly —
+most often by a *younger member of the same burst*.  Such an element
+would be inserted into the R-tree / interval tree / label set only to
+be ejected again before any query can observe it (queries never run
+mid-batch).  The batched ingestion paths
+(:meth:`repro.core.nofn.NofNSkyline.append_many` and friends) therefore
+precompute, with two NumPy broadcasts over the batch, *when* each batch
+member dies at the hands of a younger same-batch member — and skip all
+index maintenance for those casualties while still synthesising their
+exact per-element :class:`~repro.core.events.ArrivalOutcome`.
+
+The filter is a *skyband* filter: ``k = 1`` marks an element as doomed
+at its first younger weak dominator (the skyline engines), ``k > 1`` at
+its ``k``-th (the k-skyband engine, where an element is pruned once
+``k`` younger dominators have arrived).
+
+The core library stays dependency-free: when NumPy is unavailable the
+same quantities are computed with a pure-Python double loop (correct,
+just not fast).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+try:  # pragma: no cover - exercised implicitly by every batch test
+    import numpy as _np
+except ImportError:  # pragma: no cover - the library must work without it
+    _np = None
+
+__all__ = ["BatchPrefilter", "intra_batch_survivors"]
+
+#: Batches larger than this are processed in slices of this size so the
+#: pairwise dominance matrix stays small (``CHUNK^2`` booleans).
+CHUNK = 1024
+
+
+class BatchPrefilter:
+    """Pairwise weak-dominance analysis of one ingestion batch.
+
+    Parameters
+    ----------
+    points:
+        The batch's value vectors, in arrival order.
+    k:
+        Skyband depth: member ``i`` is *doomed* once ``k`` younger batch
+        members weakly dominate it (``k = 1`` for the skyline engines).
+
+    Attributes
+    ----------
+    kill:
+        ``kill[i]`` is the batch index of the arrival at which member
+        ``i`` accumulates its ``k``-th younger same-batch weak
+        dominator (the arrival that removes it from the engine), or
+        ``-1`` if fewer than ``k`` younger batch members dominate it.
+    """
+
+    __slots__ = ("size", "k", "kill", "_weak", "_killed_at")
+
+    def __init__(self, points: Sequence[Sequence[float]], k: int = 1) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.size = len(points)
+        self.k = k
+        if _np is not None:
+            self._init_numpy(points)
+        else:
+            self._init_python(points)
+        self._killed_at: Dict[int, List[int]] = {}
+        for idx, at in enumerate(self.kill):
+            if at >= 0:
+                self._killed_at.setdefault(at, []).append(idx)
+
+    # -- construction ---------------------------------------------------
+
+    def _init_numpy(self, points: Sequence[Sequence[float]]) -> None:
+        arr = _np.asarray([tuple(p) for p in points], dtype=float)
+        if arr.size == 0:
+            self._weak = _np.zeros((0, 0), dtype=bool)
+            self.kill = []
+            return
+        # weak[a, b] <=> points[a] weakly dominates points[b].  One
+        # outer comparison per dimension keeps the working set at B^2
+        # booleans instead of materialising a B^2 x d cube.
+        weak = arr[:, 0, None] <= arr[None, :, 0]
+        for c in range(1, arr.shape[1]):
+            weak &= arr[:, c, None] <= arr[None, :, c]
+        # Younger-dominator relation: row index (the dominator) must
+        # arrive after the column index.  tril(k=-1) keeps a > b.
+        younger = _np.tril(weak, k=-1)
+        if self.k == 1:
+            # argmax finds each column's first younger dominator
+            # directly; the cumsum is only needed for skyband depths.
+            has = younger.any(axis=0)
+            first = younger.argmax(axis=0)
+        else:
+            reached = _np.cumsum(younger, axis=0) >= self.k
+            has = reached[-1]
+            first = _np.argmax(reached, axis=0)
+        self._weak = weak
+        self.kill = _np.where(has, first, -1).tolist()
+
+    def _init_python(self, points: Sequence[Sequence[float]]) -> None:
+        pts = [tuple(float(v) for v in p) for p in points]
+        n = len(pts)
+        weak = [[False] * n for _ in range(n)]
+        for a in range(n):
+            pa = pts[a]
+            for b in range(n):
+                weak[a][b] = all(x <= y for x, y in zip(pa, pts[b]))
+        kill = []
+        for b in range(n):
+            count = 0
+            at = -1
+            for a in range(b + 1, n):
+                if weak[a][b]:
+                    count += 1
+                    if count == self.k:
+                        at = a
+                        break
+            kill.append(at)
+        self._weak = weak
+        self.kill = kill
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Number of batch members the engines never need to index."""
+        return sum(1 for at in self.kill if at >= 0)
+
+    def is_doomed(self, i: int) -> bool:
+        """Whether member ``i`` dies to a younger same-batch member."""
+        return self.kill[i] >= 0
+
+    def killed_at(self, j: int) -> List[int]:
+        """Batch indices whose removal arrival is ``j`` (ascending)."""
+        return self._killed_at.get(j, [])
+
+    def older_weak_dominators(self, i: int) -> List[int]:
+        """Batch indices ``h < i`` weakly dominating ``i``, youngest
+        first — the batch-side candidates for member ``i``'s critical
+        dominator search."""
+        if _np is not None:
+            return _np.flatnonzero(self._weak[:i, i])[::-1].tolist()
+        return [h for h in range(i - 1, -1, -1) if self._weak[h][i]]
+
+    def weakly_dominates(self, a: int, b: int) -> bool:
+        """Whether batch member ``a`` weakly dominates member ``b``."""
+        return bool(self._weak[a][b])
+
+
+def intra_batch_survivors(
+    points: Sequence[Sequence[float]], k: int = 1
+) -> List[int]:
+    """Indices of batch members with fewer than ``k`` younger same-batch
+    weak dominators, ascending — the members that must touch the engine
+    index when the batch is ingested."""
+    pre = BatchPrefilter(points, k=k)
+    return [i for i in range(pre.size) if not pre.is_doomed(i)]
+
+
+def iter_chunks(count: int, chunk: int = CHUNK) -> List[Tuple[int, int]]:
+    """``(start, stop)`` slice bounds covering ``range(count)`` in
+    slices of at most ``chunk``."""
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    return [(s, min(s + chunk, count)) for s in range(0, count, chunk)]

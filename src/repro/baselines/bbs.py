@@ -79,7 +79,13 @@ def bbs_progressive(
     def push(item, corner: Point) -> None:
         nonlocal counter
         frontier[counter] = item
-        heap.push(counter, (sum(corner), counter))
+        # The corner tie-break matters for correctness, not just
+        # determinism: float addition is monotone under componentwise <=
+        # but can round two *different* corners to the same sum (e.g. a
+        # subnormal coordinate vanishing into 1.0).  Dominance implies
+        # lexicographic <=, so on equal sums the dominator still pops
+        # first and the emitted-points-are-final invariant holds.
+        heap.push(counter, (sum(corner), corner, counter))
         counter += 1
 
     root = tree._root

@@ -4,12 +4,14 @@ from repro.bench.measure import (
     PerElementCost,
     average_query_time,
     bucketed_query_times,
+    feed_many_timed,
     feed_timed,
     time_batch,
     time_each,
 )
 from repro.bench.reporting import (
     format_count,
+    format_percent,
     format_rate,
     format_seconds,
     render_series,
@@ -34,8 +36,10 @@ __all__ = [
     "bucketed_query_times",
     "build_n1n2",
     "build_nofn",
+    "feed_many_timed",
     "feed_timed",
     "format_count",
+    "format_percent",
     "format_rate",
     "format_seconds",
     "render_series",

@@ -85,6 +85,41 @@ def feed_timed(
     return PerElementCost(count=count, total_seconds=total, max_seconds=worst)
 
 
+def feed_many_timed(
+    engine,
+    points: Sequence[Sequence[float]],
+    batch_size: int,
+    warmup: int = 0,
+) -> PerElementCost:
+    """Feed ``points`` into ``engine`` through ``append_many`` in
+    batches of ``batch_size``, timing each batch.
+
+    Returns a :class:`PerElementCost` over *elements* (so throughput is
+    directly comparable with :func:`feed_timed`); ``max_seconds`` is the
+    worst observed per-batch latency divided by that batch's size.
+    ``warmup`` leading *batches* are excluded from the statistics.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch size must be >= 1, got {batch_size}")
+    count = 0
+    total = 0.0
+    worst = 0.0
+    pts = list(points)
+    for index, start_idx in enumerate(range(0, len(pts), batch_size)):
+        batch = pts[start_idx:start_idx + batch_size]
+        start = time.perf_counter()
+        engine.append_many(batch)
+        elapsed = time.perf_counter() - start
+        if index < warmup:
+            continue
+        count += len(batch)
+        total += elapsed
+        per_element = elapsed / len(batch)
+        if per_element > worst:
+            worst = per_element
+    return PerElementCost(count=count, total_seconds=total, max_seconds=worst)
+
+
 def time_batch(fn: Callable[[], object], repeats: int = 1) -> float:
     """Total wall-clock seconds for ``repeats`` calls of ``fn``."""
     if repeats < 1:

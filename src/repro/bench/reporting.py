@@ -32,6 +32,11 @@ def format_rate(per_second: float) -> str:
     return f"{per_second:.3g}/s"
 
 
+def format_percent(fraction: float) -> str:
+    """A 0..1 fraction as a percentage (prefilter kill rates etc.)."""
+    return f"{fraction * 100:.3g}%"
+
+
 def format_count(value: float) -> str:
     """Counts the way the paper's Figure 4 prints them (1.3K, 14K...)."""
     if value >= 1e6:

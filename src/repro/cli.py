@@ -37,6 +37,7 @@ from repro.baselines import (
     naive_skyline,
     sfs_skyline,
 )
+from repro.bench.reporting import format_percent, format_rate
 from repro.core.nofn import NofNSkyline
 from repro.core.skyband import KSkybandEngine
 from repro.streams.generators import distributions, make_stream
@@ -85,6 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
     win.add_argument("--band", type=int, default=1, metavar="k",
                      help="report the k-skyband instead of the skyline "
                           "(default 1 = skyline)")
+    win.add_argument("--batch", type=int, default=None, metavar="B",
+                     help="ingest through the batched fast path, B points "
+                          "per append_many call (aligned to --every "
+                          "boundaries); prints batch stats at the end")
 
     sub.add_parser("info", help="version and capability summary")
     return parser
@@ -135,6 +140,8 @@ def _cmd_window(args, out: TextIO) -> int:
         raise ValueError("--every must be >= 1")
     if args.band < 1:
         raise ValueError("--band must be >= 1")
+    if args.batch is not None and args.batch < 1:
+        raise ValueError("--batch must be >= 1")
 
     points = _read_points(args.input)
     if not points:
@@ -145,11 +152,27 @@ def _cmd_window(args, out: TextIO) -> int:
         )
     else:
         engine = NofNSkyline(dim=len(points[0]), capacity=args.capacity)
-    for i, point in enumerate(points):
-        engine.append(point)
-        if args.every and (i + 1) % args.every == 0:
-            _print_result(out, engine, n, label=f"after {i + 1}")
+    if args.batch:
+        # Batches are clipped at --every boundaries so the reports land
+        # after exactly the same arrivals as per-element replay.
+        fed = 0
+        while fed < len(points):
+            upper = min(fed + args.batch, len(points))
+            if args.every:
+                next_report = (fed // args.every + 1) * args.every
+                upper = min(upper, next_report)
+            engine.append_many(points[fed:upper])
+            fed = upper
+            if args.every and fed % args.every == 0:
+                _print_result(out, engine, n, label=f"after {fed}")
+    else:
+        for i, point in enumerate(points):
+            engine.append(point)
+            if args.every and (i + 1) % args.every == 0:
+                _print_result(out, engine, n, label=f"after {i + 1}")
     _print_result(out, engine, n, label="final")
+    if args.batch:
+        _print_batch_stats(out, engine)
     return 0
 
 
@@ -157,6 +180,17 @@ def _print_result(out: TextIO, engine, n: int, label: str) -> None:
     result = engine.query(n)
     kappas = ",".join(str(e.kappa) for e in result)
     print(f"{label}\tn={n}\tsize={len(result)}\tkappas={kappas}", file=out)
+
+
+def _print_batch_stats(out: TextIO, engine) -> None:
+    stats = engine.stats
+    print(
+        f"batch\tbatches={stats.batches}"
+        f"\tmean_size={stats.batch_size_mean:.3g}"
+        f"\tkill_rate={format_percent(stats.prefilter_kill_rate)}"
+        f"\tthroughput={format_rate(stats.batch_throughput)}",
+        file=out,
+    )
 
 
 def _cmd_info(out: TextIO) -> int:

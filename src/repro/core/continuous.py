@@ -33,10 +33,10 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set
 
 from repro.core.element import StreamElement
-from repro.core.events import ArrivalOutcome
+from repro.core.events import ArrivalOutcome, BatchOutcome
 from repro.core.nofn import NofNSkyline
 from repro.exceptions import InvalidWindowError, QueryNotRegisteredError
 from repro.structures.heap import MinIndexedHeap
@@ -91,14 +91,36 @@ class ContinuousQueryManager:
     """Runs any number of continuous n-of-N queries over one engine.
 
     The manager wraps an :class:`NofNSkyline`; feed the stream through
-    :meth:`append` (or call :meth:`process` yourself with the outcomes
-    of ``engine.append`` if you drive the engine directly).
+    :meth:`append` / :meth:`append_many` (or call :meth:`process` /
+    :meth:`process_batch` yourself with the outcomes of
+    ``engine.append`` / ``engine.append_many`` if you drive the engine
+    directly — every outcome since the manager's construction must reach
+    it, in order).
+
+    The manager keeps its own mirror of the critical dominance forest,
+    advanced purely from the outcomes it consumes.  That makes trigger
+    processing independent of the engine's *current* state — essential
+    for batched ingestion, where the engine has already advanced to the
+    end of the batch while the manager replays the batch's outcomes one
+    arrival at a time.
     """
 
     def __init__(self, engine: NofNSkyline) -> None:
         self.engine = engine
         self._queries: Dict[int, ContinuousQueryHandle] = {}
         self._next_id = 1
+        # Dominance-forest mirror over R_N: element, parent kappa (0 for
+        # roots) and children kappas per retained element.
+        self._graph_elements: Dict[int, StreamElement] = {}
+        self._graph_parent: Dict[int, int] = {}
+        self._graph_children: Dict[int, Set[int]] = {}
+        for element in engine.non_redundant():
+            self._graph_elements[element.kappa] = element
+            self._graph_children[element.kappa] = set()
+        for parent_kappa, child_kappa in engine.dominance_graph_edges():
+            self._graph_parent[child_kappa] = parent_kappa
+            if parent_kappa:
+                self._graph_children[parent_kappa].add(child_kappa)
 
     # ------------------------------------------------------------------
     # Registration
@@ -145,17 +167,62 @@ class ContinuousQueryManager:
         self.process(outcome)
         return outcome
 
+    def append_many(
+        self,
+        points: Sequence[Sequence[float]],
+        payloads: Optional[Sequence[Any]] = None,
+    ) -> BatchOutcome:
+        """Feed a batch to the engine and update every query.
+
+        Every query fires exactly the triggers — in the same order —
+        that element-by-element :meth:`append` calls would have fired.
+        """
+        batch = self.engine.append_many(points, payloads)
+        self.process_batch(batch)
+        return batch
+
+    def process_batch(self, batch: BatchOutcome) -> None:
+        """Apply a batch's changes arrival by arrival to every query."""
+        for outcome in batch:
+            self.process(outcome)
+
     def process(self, outcome: ArrivalOutcome) -> None:
         """Apply one arrival's changes (Algorithm 2) to every query."""
         removed_kappas = outcome.removed_kappas
         # Children of an element that expired from R_N this arrival are
-        # no longer reachable through the engine; resolve them from the
-        # outcome's captured snapshot.
+        # dropped from the mirror below; resolve them from the outcome's
+        # captured snapshot instead.
         expired_children = {
             rec.element.kappa: rec.children for rec in outcome.expired
         }
+        self._advance_graph(outcome)
         for handle in self._queries.values():
             self._process_query(handle, outcome, removed_kappas, expired_children)
+
+    def _advance_graph(self, outcome: ArrivalOutcome) -> None:
+        """Replay one arrival's maintenance on the dominance-forest
+        mirror (same order as Algorithm 1: expire, eject, install)."""
+        for rec in outcome.expired:
+            kappa = rec.element.kappa
+            for child in rec.children:
+                self._graph_parent[child.kappa] = 0
+            self._graph_elements.pop(kappa, None)
+            self._graph_parent.pop(kappa, None)
+            self._graph_children.pop(kappa, None)
+        for element in outcome.dominated_removed:
+            kappa = element.kappa
+            parent_kappa = self._graph_parent.pop(kappa, 0)
+            children = self._graph_children.get(parent_kappa)
+            if children is not None:
+                children.discard(kappa)
+            self._graph_elements.pop(kappa, None)
+            self._graph_children.pop(kappa, None)
+        newcomer = outcome.element
+        self._graph_elements[newcomer.kappa] = newcomer
+        self._graph_parent[newcomer.kappa] = outcome.parent_kappa
+        self._graph_children[newcomer.kappa] = set()
+        if outcome.parent_kappa:
+            self._graph_children[outcome.parent_kappa].add(newcomer.kappa)
 
     def _process_query(
         self,
@@ -198,12 +265,16 @@ class ContinuousQueryManager:
     def _children_of(
         self, kappa: int, expired_children: Dict[int, tuple]
     ) -> List[StreamElement]:
-        """Current critical children of ``kappa``.
+        """Critical children of ``kappa`` as of the arrival being
+        processed.
 
-        Resolved from the live dominance graph when the element is still
-        in ``R_N``, otherwise from the expiry snapshot captured in the
-        arrival outcome.
+        Resolved from the manager's dominance-forest mirror when the
+        element is still in ``R_N``, otherwise from the expiry snapshot
+        captured in the arrival outcome.  (The live engine is never
+        consulted: during batch processing it is already at the end of
+        the batch, ahead of the arrival being replayed.)
         """
         if kappa in expired_children:
             return list(expired_children[kappa])
-        return self.engine.children_of(kappa)
+        children = self._graph_children.get(kappa, ())
+        return [self._graph_elements[c] for c in sorted(children)]

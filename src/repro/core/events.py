@@ -11,7 +11,7 @@ using it" coupling the paper describes in section 3.4.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Iterator, Tuple
 
 from repro.core.element import StreamElement
 
@@ -66,3 +66,60 @@ class ArrivalOutcome:
             [e.kappa for e in self.dominated_removed]
             + [rec.element.kappa for rec in self.expired]
         )
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Everything one ``append_many`` call did, element by element.
+
+    The batched ingestion path performs identical maintenance to
+    element-by-element :meth:`~repro.core.nofn.NofNSkyline.append`
+    (property-tested), so ``outcomes`` holds exactly the
+    :class:`ArrivalOutcome` sequence those individual calls would have
+    returned — feed them, in order, to
+    :meth:`~repro.core.continuous.ContinuousQueryManager.process` (or
+    hand the whole object to ``process_batch``) and every continuous
+    query fires the same triggers it would have fired per element.
+
+    Attributes
+    ----------
+    outcomes:
+        One :class:`ArrivalOutcome` per batch member, in arrival order.
+    prefilter_dropped:
+        Batch members the vectorised intra-batch prefilter proved
+        dominated by a younger same-batch member; their outcomes are in
+        ``outcomes`` like everyone else's, but they never touched the
+        R-tree / interval tree / label set — the batch path's saving.
+    """
+
+    outcomes: Tuple[ArrivalOutcome, ...]
+    prefilter_dropped: int = 0
+
+    @property
+    def batch_size(self) -> int:
+        """Number of elements ingested by this batch."""
+        return len(self.outcomes)
+
+    @property
+    def seen_so_far(self) -> int:
+        """``M`` after the batch (0 for an empty batch on a fresh
+        engine)."""
+        if not self.outcomes:
+            return 0
+        return self.outcomes[-1].seen_so_far
+
+    @property
+    def expired_total(self) -> int:
+        """Window expiries across the whole batch."""
+        return sum(len(o.expired) for o in self.outcomes)
+
+    @property
+    def dominated_total(self) -> int:
+        """Dominance ejections across the whole batch."""
+        return sum(len(o.dominated_removed) for o in self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self) -> Iterator[ArrivalOutcome]:
+        return iter(self.outcomes)

@@ -33,13 +33,19 @@ in section 6).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Set
 
+from repro.accel.batch_prefilter import BatchPrefilter, CHUNK, iter_chunks
 from repro.core.dominance import weakly_dominates
 from repro.core.element import StreamElement
-from repro.core.events import ArrivalOutcome, ExpiredRecord
+from repro.core.events import ArrivalOutcome, BatchOutcome, ExpiredRecord
 from repro.core.stats import EngineStats
-from repro.exceptions import InvalidWindowError
+from repro.exceptions import (
+    DimensionMismatchError,
+    InvalidWindowError,
+    StructureCorruptionError,
+)
 from repro.structures.interval_tree import IntervalHandle, IntervalTree
 from repro.structures.labelset import LabelSet
 from repro.structures.rtree import RTree
@@ -121,6 +127,16 @@ class NofNSkyline:
         """Labels strictly below this value have left the window."""
         return self._m - self.capacity + 1
 
+    def _note_arrival(self, label: float) -> None:
+        """Per-arrival clock bookkeeping for the batched path (no-op for
+        count-based windows; the time-window variant advances ``now``)."""
+
+    def _final_threshold(self, last_label: float, count: int) -> float:
+        """The value :meth:`_window_start` will return at the last of the
+        next ``count`` arrivals (ending at ``last_label``) — the batched
+        path's once-per-chunk expiry gate."""
+        return self._m + count - self.capacity + 1
+
     # ------------------------------------------------------------------
     # Maintenance (Algorithm 1)
     # ------------------------------------------------------------------
@@ -181,16 +197,235 @@ class NofNSkyline:
             expired=tuple(expired),
         )
 
-    def _expire(self, record: _Record) -> ExpiredRecord:
-        """Remove an expired root from ``R_N``, re-rooting its children."""
-        assert record.parent_kappa == 0, (
-            "the oldest element of R_N must be a root of the dominance graph"
+    # ------------------------------------------------------------------
+    # Batched ingestion fast path
+    # ------------------------------------------------------------------
+
+    def append_many(
+        self,
+        points: Sequence[Sequence[float]],
+        payloads: Optional[Sequence[Any]] = None,
+    ) -> BatchOutcome:
+        """Ingest a batch of stream elements; return what changed.
+
+        Semantically identical to calling :meth:`append` once per point
+        (the returned :class:`~repro.core.events.BatchOutcome` carries
+        the exact per-element :class:`ArrivalOutcome` sequence those
+        calls would have produced), but much faster on bursty feeds: a
+        vectorised intra-batch prefilter proves which batch members are
+        dominated by a younger same-batch member before any query could
+        observe them, and those members skip all R-tree / interval-tree
+        / label-set maintenance.  The window-expiry scan is likewise
+        gated once per chunk instead of once per arrival.
+
+        Validation is all-or-nothing: dimension mismatches and invalid
+        values raise before any engine state changes.
+        """
+        elements = self._batch_elements(points, payloads)
+        return self._ingest_batch(
+            elements, [self._assign_label(e) for e in elements]
         )
-        children = sorted(record.children)
-        for child_kappa in children:
-            child = self._records[child_kappa]
-            child.handle = self._intervals.replace(child.handle, 0.0, child.label)
+
+    def _batch_elements(
+        self,
+        points: Sequence[Sequence[float]],
+        payloads: Optional[Sequence[Any]],
+    ) -> List[StreamElement]:
+        """Construct and validate the batch's elements without mutating
+        engine state (all-or-nothing ingestion)."""
+        pts = list(points)
+        if payloads is None:
+            payloads = [None] * len(pts)
+        elif len(payloads) != len(pts):
+            raise ValueError(
+                f"got {len(pts)} points but {len(payloads)} payloads"
+            )
+        elements = []
+        for offset, (values, payload) in enumerate(zip(pts, payloads)):
+            element = StreamElement(values, self._m + offset + 1, payload)
+            if len(element.values) != self.dim:
+                raise DimensionMismatchError(self.dim, len(element.values))
+            elements.append(element)
+        return elements
+
+    def _ingest_batch(
+        self, elements: List[StreamElement], labels: List[float]
+    ) -> BatchOutcome:
+        """Run the chunked batch-arrival loop over validated elements."""
+        started = perf_counter()
+        outcomes: List[ArrivalOutcome] = []
+        dropped = 0
+        for lo, hi in iter_chunks(len(elements)):
+            dropped += self._arrive_chunk(elements, labels, lo, hi, outcomes)
+        batch = BatchOutcome(tuple(outcomes), prefilter_dropped=dropped)
+        self.stats.record_batch(
+            size=len(elements), dropped=dropped, seconds=perf_counter() - started
+        )
+        return batch
+
+    def _arrive_chunk(
+        self,
+        elements: List[StreamElement],
+        labels: List[float],
+        lo: int,
+        hi: int,
+        outcomes: List[ArrivalOutcome],
+    ) -> int:
+        """Ingest ``elements[lo:hi]``, appending one outcome per element.
+
+        Doomed members (those the prefilter proved dominated by a
+        younger same-chunk member) are parked in ``pending`` — logically
+        part of ``R_N``, but never inserted into the index structures —
+        until their killer arrives or they expire.  Correctness of the
+        shortcut rests on weak dominance being transitive: a pending
+        member can never be the critical parent of a surviving member
+        (its killer would doom the survivor too), so survivors resolve
+        parents from the R-tree alone, while pending members merge the
+        R-tree candidate with the youngest *alive* pending dominator.
+        """
+        chunk = elements[lo:hi]
+        pre = BatchPrefilter([e.values for e in chunk], k=1)
+        base_kappa = chunk[0].kappa
+        # Once-per-chunk expiry gate: if neither the oldest live label
+        # nor the chunk's own first label can fall below the window
+        # start as of the chunk's *last* arrival, no arrival in the
+        # chunk can expire anything (thresholds are monotone).
+        threshold_end = self._final_threshold(labels[hi - 1], hi - lo)
+        may_expire = labels[lo] < threshold_end or (
+            bool(self._labels) and self._labels.oldest()[0] < threshold_end
+        )
+        pending: Dict[int, _Record] = {}
+        for i, element in enumerate(chunk):
+            label = labels[lo + i]
+            self._m = element.kappa
+            self._note_arrival(label)
+
+            expired: List[ExpiredRecord] = []
+            if may_expire:
+                threshold = self._window_start(label)
+                while True:
+                    tree_oldest = self._labels.oldest() if self._labels else None
+                    pend_oldest = (
+                        pending[next(iter(pending))] if pending else None
+                    )
+                    if tree_oldest is not None and (
+                        pend_oldest is None
+                        or tree_oldest[0] <= pend_oldest.label
+                    ):
+                        if tree_oldest[0] >= threshold:
+                            break
+                        expired.append(self._expire(tree_oldest[1], pending))
+                    elif pend_oldest is not None:
+                        if pend_oldest.label >= threshold:
+                            break
+                        expired.append(
+                            self._expire_pending(pend_oldest, pending)
+                        )
+                    else:
+                        break
+
+            dominated: List[StreamElement] = []
+            for entry in self._rtree.remove_dominated(element.values):
+                tree_record: _Record = entry.data
+                self._detach(tree_record)
+                dominated.append(tree_record.element)
+            for h in pre.killed_at(i):
+                doomed = pending.pop(base_kappa + h, None)
+                if doomed is None:
+                    continue  # already expired
+                parent = self._records.get(doomed.parent_kappa)
+                if parent is None:
+                    parent = pending.get(doomed.parent_kappa)
+                if parent is not None:
+                    parent.children.discard(doomed.element.kappa)
+                dominated.append(doomed.element)
+
+            record = _Record(element, label)
+            parent_entry = self._rtree.max_kappa_dominator(element.values)
+            if pre.is_doomed(i):
+                best = None if parent_entry is None else parent_entry.data
+                for h in pre.older_weak_dominators(i):
+                    candidate = pending.get(base_kappa + h)
+                    if candidate is not None:
+                        if (
+                            best is None
+                            or candidate.element.kappa > best.element.kappa
+                        ):
+                            best = candidate
+                        break
+                    if base_kappa + h in self._records:
+                        break  # a survivor: the R-tree search covered it
+                    # else: killed or expired already — keep walking
+                if best is not None:
+                    record.parent_kappa = best.element.kappa
+                    best.children.add(element.kappa)
+                pending[element.kappa] = record
+            else:
+                if parent_entry is None:
+                    low = 0.0
+                else:
+                    parent = parent_entry.data
+                    record.parent_kappa = parent.element.kappa
+                    parent.children.add(element.kappa)
+                    low = parent.label
+                record.handle = self._intervals.insert(low, label, record)
+                record.entry = self._rtree.insert(
+                    element.values, element.kappa, record
+                )
+                self._labels.append(label, record)
+                self._records[element.kappa] = record
+
+            self.stats.record_arrival(
+                expired=len(expired),
+                dominated=len(dominated),
+                rn_size=len(self._records) + len(pending),
+            )
+            outcomes.append(
+                ArrivalOutcome(
+                    element=element,
+                    seen_so_far=element.kappa,
+                    dominated_removed=tuple(dominated),
+                    parent_kappa=record.parent_kappa,
+                    expired=tuple(expired),
+                )
+            )
+        if pending:
+            raise StructureCorruptionError(
+                f"{len(pending)} doomed batch members survived their chunk"
+            )
+        return pre.dropped
+
+    def _expire(
+        self, record: _Record, pending: Optional[Dict[int, _Record]] = None
+    ) -> ExpiredRecord:
+        """Remove an expired root from ``R_N``, re-rooting its children.
+
+        ``pending`` is supplied by the batched path: a child may be a
+        doomed batch member awaiting its in-batch killer — it has no
+        interval yet, only a parent link to clear.
+        """
+        if record.parent_kappa != 0:
+            raise StructureCorruptionError(
+                f"expiring element {record.element.kappa} is not a root of "
+                f"the dominance graph (critical parent "
+                f"{record.parent_kappa} outlived it)"
+            )
+        children_elements: List[StreamElement] = []
+        for child_kappa in sorted(record.children):
+            child = self._records.get(child_kappa)
+            if child is not None:
+                child.handle = self._intervals.replace(
+                    child.handle, 0.0, child.label
+                )
+            elif pending is not None and child_kappa in pending:
+                child = pending[child_kappa]
+            else:
+                raise StructureCorruptionError(
+                    f"dominance-graph child {child_kappa} of expiring "
+                    f"element {record.element.kappa} is missing from R_N"
+                )
             child.parent_kappa = 0
+            children_elements.append(child.element)
         self._intervals.remove(record.handle)
         self._rtree.delete(record.element.kappa)
         self._labels.remove(record.label)
@@ -199,7 +434,36 @@ class NofNSkyline:
         record.entry = None
         return ExpiredRecord(
             element=record.element,
-            children=tuple(self._records[k].element for k in children),
+            children=tuple(children_elements),
+        )
+
+    def _expire_pending(
+        self, record: _Record, pending: Dict[int, _Record]
+    ) -> ExpiredRecord:
+        """Expire a doomed batch member that left the window before its
+        in-batch killer arrived (bursty time windows; count windows
+        smaller than the chunk).  It owns no index entries — only the
+        dominance-graph links need maintenance."""
+        if record.parent_kappa != 0:
+            raise StructureCorruptionError(
+                f"expiring element {record.element.kappa} is not a root of "
+                f"the dominance graph (critical parent "
+                f"{record.parent_kappa} outlived it)"
+            )
+        del pending[record.element.kappa]
+        children_elements: List[StreamElement] = []
+        for child_kappa in sorted(record.children):
+            child = pending.get(child_kappa)
+            if child is None:
+                raise StructureCorruptionError(
+                    f"dominance-graph child {child_kappa} of expiring "
+                    f"element {record.element.kappa} is missing from R_N"
+                )
+            child.parent_kappa = 0
+            children_elements.append(child.element)
+        return ExpiredRecord(
+            element=record.element,
+            children=tuple(children_elements),
         )
 
     def _detach(self, record: _Record) -> None:

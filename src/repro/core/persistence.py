@@ -74,11 +74,25 @@ def _snapshot_nofn(engine: NofNSkyline) -> Dict[str, Any]:
         "seen_so_far": engine.seen_so_far,
         "records": records,
         "stats": engine.stats.snapshot_raw(),
+        "rtree": _rtree_config(engine),
     }
     if isinstance(engine, TimeWindowSkyline):
         snap["horizon"] = engine.horizon
         snap["now"] = engine.now
     return snap
+
+
+def _rtree_config(engine) -> Dict[str, Any]:
+    """The engine's R-tree tuning, so :func:`restore` rebuilds the index
+    with the fan-out and split policy the operator chose rather than the
+    defaults.  Engines whose index is not an R-tree (the linear-scan
+    ablation) report the defaults — tuning does not apply to them."""
+    index = engine._rtree
+    return {
+        "max_entries": int(getattr(index, "max_entries", 12)),
+        "min_entries": int(getattr(index, "min_entries", 4)),
+        "split": str(getattr(index, "split_policy", "quadratic")),
+    }
 
 
 def _snapshot_n1n2(engine: N1N2Skyline) -> Dict[str, Any]:
@@ -103,6 +117,7 @@ def _snapshot_n1n2(engine: N1N2Skyline) -> Dict[str, Any]:
         "seen_so_far": engine.seen_so_far,
         "records": records,
         "stats": engine.stats.snapshot_raw(),
+        "rtree": _rtree_config(engine),
     }
 
 
@@ -120,14 +135,34 @@ def restore(snap: Dict[str, Any]) -> Union[NofNSkyline, N1N2Skyline]:
         )
     kind = snap.get("kind")
     if kind == "nofn":
-        return _restore_nofn(snap, NofNSkyline(snap["dim"], snap["capacity"]))
+        return _restore_nofn(
+            snap,
+            NofNSkyline(snap["dim"], snap["capacity"], **_rtree_kwargs(snap)),
+        )
     if kind == "timewindow":
-        engine = TimeWindowSkyline(snap["dim"], snap["horizon"])
+        engine = TimeWindowSkyline(
+            snap["dim"], snap["horizon"], **_rtree_kwargs(snap)
+        )
         engine._now = float(snap["now"])
         return _restore_nofn(snap, engine)
     if kind == "n1n2":
         return _restore_n1n2(snap)
     raise SnapshotError(f"unknown snapshot kind: {kind!r}")
+
+
+def _rtree_kwargs(snap: Dict[str, Any]) -> Dict[str, Any]:
+    """R-tree tuning kwargs from a snapshot.
+
+    Snapshots written before the tuning was recorded lack the "rtree"
+    key; they restore with the defaults, as they always did.
+    """
+    raw = snap.get("rtree", {})
+    _require(isinstance(raw, dict), '"rtree" must be a dict when present')
+    return {
+        "rtree_max_entries": int(raw.get("max_entries", 12)),
+        "rtree_min_entries": int(raw.get("min_entries", 4)),
+        "rtree_split": str(raw.get("split", "quadratic")),
+    }
 
 
 def _restore_nofn(snap: Dict[str, Any], engine: NofNSkyline) -> NofNSkyline:
@@ -166,7 +201,7 @@ def _restore_nofn(snap: Dict[str, Any], engine: NofNSkyline) -> NofNSkyline:
 
 
 def _restore_n1n2(snap: Dict[str, Any]) -> N1N2Skyline:
-    engine = N1N2Skyline(snap["dim"], snap["capacity"])
+    engine = N1N2Skyline(snap["dim"], snap["capacity"], **_rtree_kwargs(snap))
     engine._m = int(snap["seen_so_far"])
     by_kappa: Dict[int, _WindowRecord] = {}
     for raw in snap["records"]:
@@ -212,8 +247,11 @@ def _restore_stats(engine, raw) -> None:
     for field in (
         "arrivals", "expiries", "dominated_removed", "queries",
         "query_results", "rn_size_peak", "rn_size_sum",
+        "batches", "batch_elements", "prefilter_dropped", "batch_size_peak",
     ):
         setattr(stats, field, int(raw.get(field, 0)))
+    for field in ("batch_seconds_total", "batch_seconds_max"):
+        setattr(stats, field, float(raw.get(field, 0.0)))
 
 
 def _require(condition: bool, message: str) -> None:

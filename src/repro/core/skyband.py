@@ -44,11 +44,17 @@ exactly (property-tested).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.accel.batch_prefilter import BatchPrefilter, CHUNK, iter_chunks
 from repro.core.element import StreamElement
 from repro.core.stats import EngineStats
-from repro.exceptions import InvalidWindowError
+from repro.exceptions import (
+    DimensionMismatchError,
+    InvalidWindowError,
+    StructureCorruptionError,
+)
 from repro.structures.interval_tree import IntervalHandle, IntervalTree
 from repro.structures.labelset import LabelSet
 from repro.structures.rtree import RTree
@@ -90,6 +96,7 @@ class KSkybandEngine:
         k: int,
         rtree_max_entries: int = 12,
         rtree_min_entries: int = 4,
+        rtree_split: str = "quadratic",
     ) -> None:
         if capacity < 1:
             raise InvalidWindowError(f"capacity must be >= 1, got {capacity}")
@@ -105,7 +112,10 @@ class KSkybandEngine:
         self._labels: LabelSet[_BandRecord] = LabelSet()
         self._intervals: IntervalTree[_BandRecord] = IntervalTree()
         self._rtree = RTree(
-            dim, max_entries=rtree_max_entries, min_entries=rtree_min_entries
+            dim,
+            max_entries=rtree_max_entries,
+            min_entries=rtree_min_entries,
+            split=rtree_split,
         )
         self.stats = EngineStats()
 
@@ -177,6 +187,169 @@ class KSkybandEngine:
             expired=expired, dominated=demoted, rn_size=len(self._records)
         )
         return element
+
+    def append_many(
+        self,
+        points: Sequence[Sequence[float]],
+        payloads: Optional[Sequence[Any]] = None,
+    ) -> List[StreamElement]:
+        """Ingest a batch of stream elements; return them.
+
+        Semantically identical to calling :meth:`append` once per point
+        — identical retained set, interval encoding, query answers and
+        maintenance stats afterwards — but faster on bursty feeds: the
+        vectorised intra-batch prefilter (at skyband depth ``k``)
+        identifies members that accumulate ``k`` younger same-batch weak
+        dominators before the batch ends; they skip all index
+        maintenance, contributing only their kappa to other members'
+        older-dominator lists while "alive".
+
+        Validation is all-or-nothing: dimension mismatches and invalid
+        values raise before any engine state changes.
+        """
+        started = perf_counter()
+        elements = self._batch_elements(points, payloads)
+        dropped = 0
+        chunk = min(CHUNK, self.capacity)
+        for lo, hi in iter_chunks(len(elements), chunk):
+            dropped += self._arrive_chunk(elements, lo, hi)
+        self.stats.record_batch(
+            size=len(elements), dropped=dropped, seconds=perf_counter() - started
+        )
+        return elements
+
+    def _batch_elements(
+        self,
+        points: Sequence[Sequence[float]],
+        payloads: Optional[Sequence[Any]],
+    ) -> List[StreamElement]:
+        """Construct and validate the batch's elements without mutating
+        engine state (all-or-nothing ingestion)."""
+        pts = list(points)
+        if payloads is None:
+            payloads = [None] * len(pts)
+        elif len(payloads) != len(pts):
+            raise ValueError(
+                f"got {len(pts)} points but {len(payloads)} payloads"
+            )
+        elements = []
+        for offset, (values, payload) in enumerate(zip(pts, payloads)):
+            element = StreamElement(values, self._m + offset + 1, payload)
+            if len(element.values) != self.dim:
+                raise DimensionMismatchError(self.dim, len(element.values))
+            elements.append(element)
+        return elements
+
+    def _arrive_chunk(
+        self, elements: List[StreamElement], lo: int, hi: int
+    ) -> int:
+        """Ingest ``elements[lo:hi]`` (at most ``capacity`` of them, so
+        no chunk member can expire before its in-chunk ``k``-th
+        dominator arrives).
+
+        ``pending`` parks prefilter casualties until their pruning
+        arrival: logically retained (they count towards ``rn_size`` and
+        appear in younger members' older-dominator lists — exactly as
+        the R-tree would surface them per element) but never indexed.
+        """
+        chunk = elements[lo:hi]
+        pre = BatchPrefilter([e.values for e in chunk], k=self.k)
+        base_kappa = chunk[0].kappa
+        # Expiry gate: if the oldest retained position survives even the
+        # chunk's final threshold, no arrival in the chunk can expire
+        # anything (chunk members themselves cannot, chunk <= capacity).
+        threshold_end = chunk[-1].kappa - self.capacity + 1
+        may_expire = bool(self._labels) and self._labels.oldest()[0] < threshold_end
+        pending: Dict[int, StreamElement] = {}
+        for i, element in enumerate(chunk):
+            self._m = element.kappa
+
+            expired = 0
+            if may_expire:
+                threshold = self._m - self.capacity + 1
+                while self._labels:
+                    oldest_kappa, oldest = self._labels.oldest()
+                    if oldest_kappa >= threshold:
+                        break
+                    self._discard(oldest)
+                    expired += 1
+
+            # Merged top-k older strict dominator search: descend the
+            # R-tree stream and the alive-pending stream in lockstep,
+            # always taking the younger candidate, skipping exact
+            # duplicates (which still advance their stream, matching the
+            # per-element bound movement).  Doomed members skip it: the
+            # list only ever feeds their interval encoding, which they
+            # never get.  It must run before this arrival's pruning —
+            # members pruned *by* this arrival are still witnesses.
+            older_doms: List[int] = []
+            if not pre.is_doomed(i):
+                bound: Optional[int] = None
+                pend_stream = iter(pre.older_weak_dominators(i))
+                pend_head: Optional[int] = None
+                tree_head = self._rtree.max_kappa_dominator(element.values)
+                while len(older_doms) < self.k:
+                    if pend_head is None:
+                        for h in pend_stream:
+                            if base_kappa + h in pending:
+                                pend_head = h
+                                break
+                    if tree_head is None and pend_head is None:
+                        break
+                    if tree_head is not None and (
+                        pend_head is None
+                        or tree_head.kappa > base_kappa + pend_head
+                    ):
+                        bound = tree_head.kappa
+                        if tree_head.point != element.values:
+                            older_doms.append(tree_head.kappa)
+                        tree_head = self._rtree.max_kappa_dominator(
+                            element.values, kappa_below=bound
+                        )
+                    else:
+                        candidate = pending[base_kappa + pend_head]
+                        if candidate.values != element.values:
+                            older_doms.append(candidate.kappa)
+                        pend_head = None
+
+            demoted = 0
+            for entry in self._rtree.report_dominated(element.values):
+                dominated_record: _BandRecord = entry.data
+                dominated_record.younger += 1
+                if dominated_record.younger >= self.k:
+                    self._rtree.delete(dominated_record.element.kappa)
+                    self._discard(dominated_record)
+                    demoted += 1
+                else:
+                    self._reseat(dominated_record)
+            for h in pre.killed_at(i):
+                if pending.pop(base_kappa + h, None) is not None:
+                    demoted += 1
+
+            if pre.is_doomed(i):
+                pending[element.kappa] = element
+            else:
+                record = _BandRecord(element)
+                record.older_doms = older_doms
+                record.handle = self._intervals.insert(
+                    float(self._threshold_kappa(record)),
+                    float(element.kappa),
+                    record,
+                )
+                self._rtree.insert(element.values, element.kappa, record)
+                self._labels.append(element.kappa, record)
+                self._records[element.kappa] = record
+
+            self.stats.record_arrival(
+                expired=expired,
+                dominated=demoted,
+                rn_size=len(self._records) + len(pending),
+            )
+        if pending:
+            raise StructureCorruptionError(
+                f"{len(pending)} doomed batch members survived their chunk"
+            )
+        return pre.dropped
 
     def _threshold_kappa(self, record: _BandRecord) -> int:
         """Position of the dominator whose window-exit admits ``record``.

@@ -23,6 +23,13 @@ class EngineStats:
     query_results: int = 0
     rn_size_peak: int = 0
     rn_size_sum: int = 0
+    # -- batched-ingestion counters (``append_many``) ------------------
+    batches: int = 0
+    batch_elements: int = 0
+    prefilter_dropped: int = 0
+    batch_size_peak: int = 0
+    batch_seconds_total: float = 0.0
+    batch_seconds_max: float = 0.0
 
     def record_arrival(self, expired: int, dominated: int, rn_size: int) -> None:
         """Account one maintenance step."""
@@ -32,6 +39,22 @@ class EngineStats:
         if rn_size > self.rn_size_peak:
             self.rn_size_peak = rn_size
         self.rn_size_sum += rn_size
+
+    def record_batch(self, size: int, dropped: int, seconds: float) -> None:
+        """Account one ``append_many`` call.
+
+        The batch's arrivals are *also* accounted individually through
+        :meth:`record_arrival` (outcome parity with per-element
+        ingestion); these counters describe only the batching itself.
+        """
+        self.batches += 1
+        self.batch_elements += size
+        self.prefilter_dropped += dropped
+        if size > self.batch_size_peak:
+            self.batch_size_peak = size
+        self.batch_seconds_total += seconds
+        if seconds > self.batch_seconds_max:
+            self.batch_seconds_max = seconds
 
     def record_query(self, result_size: int) -> None:
         """Account one ad-hoc query."""
@@ -52,6 +75,35 @@ class EngineStats:
             return 0.0
         return self.query_results / self.queries
 
+    @property
+    def batch_size_mean(self) -> float:
+        """Mean ``append_many`` batch size (0 when none ran)."""
+        if self.batches == 0:
+            return 0.0
+        return self.batch_elements / self.batches
+
+    @property
+    def prefilter_kill_rate(self) -> float:
+        """Fraction of batched elements the intra-batch prefilter kept
+        out of the index entirely (0 when no batches ran)."""
+        if self.batch_elements == 0:
+            return 0.0
+        return self.prefilter_dropped / self.batch_elements
+
+    @property
+    def batch_seconds_mean(self) -> float:
+        """Mean wall-clock latency per ``append_many`` call."""
+        if self.batches == 0:
+            return 0.0
+        return self.batch_seconds_total / self.batches
+
+    @property
+    def batch_throughput(self) -> float:
+        """Sustained elements/second across all batched ingestion."""
+        if self.batch_seconds_total == 0.0:
+            return 0.0
+        return self.batch_elements / self.batch_seconds_total
+
     def snapshot_raw(self) -> dict:
         """The raw counters, for persistence round-trips."""
         return {
@@ -62,6 +114,12 @@ class EngineStats:
             "query_results": self.query_results,
             "rn_size_peak": self.rn_size_peak,
             "rn_size_sum": self.rn_size_sum,
+            "batches": self.batches,
+            "batch_elements": self.batch_elements,
+            "prefilter_dropped": self.prefilter_dropped,
+            "batch_size_peak": self.batch_size_peak,
+            "batch_seconds_total": self.batch_seconds_total,
+            "batch_seconds_max": self.batch_seconds_max,
         }
 
     def snapshot(self) -> dict:
@@ -74,4 +132,9 @@ class EngineStats:
             "rn_size_peak": self.rn_size_peak,
             "rn_size_mean": self.rn_size_mean,
             "mean_result_size": self.mean_result_size,
+            "batches": self.batches,
+            "batch_size_mean": self.batch_size_mean,
+            "prefilter_kill_rate": self.prefilter_kill_rate,
+            "batch_seconds_mean": self.batch_seconds_mean,
+            "batch_seconds_max": self.batch_seconds_max,
         }

@@ -19,10 +19,10 @@ followed by a burst); the expiry loop handles that naturally.
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence
+from typing import Any, List, Optional, Sequence
 
 from repro.core.element import StreamElement
-from repro.core.events import ArrivalOutcome
+from repro.core.events import ArrivalOutcome, BatchOutcome
 from repro.core.nofn import NofNSkyline
 from repro.exceptions import InvalidWindowError
 
@@ -38,6 +38,9 @@ class TimeWindowSkyline(NofNSkyline):
         Window length in time units; elements older than
         ``now - horizon`` are expired.  Queries may use any trailing
         period ``tau <= horizon``.
+    rtree_max_entries / rtree_min_entries / rtree_split:
+        Tuning of the internal R-tree, forwarded verbatim to
+        :class:`~repro.core.nofn.NofNSkyline`.
     """
 
     def __init__(
@@ -46,6 +49,7 @@ class TimeWindowSkyline(NofNSkyline):
         horizon: float,
         rtree_max_entries: int = 12,
         rtree_min_entries: int = 4,
+        rtree_split: str = "quadratic",
     ) -> None:
         if horizon <= 0:
             raise InvalidWindowError(f"horizon must be positive, got {horizon}")
@@ -55,6 +59,7 @@ class TimeWindowSkyline(NofNSkyline):
             capacity=1,
             rtree_max_entries=rtree_max_entries,
             rtree_min_entries=rtree_min_entries,
+            rtree_split=rtree_split,
         )
         self.horizon = float(horizon)
         self._now = 0.0
@@ -90,9 +95,59 @@ class TimeWindowSkyline(NofNSkyline):
         element = StreamElement(values, self._m, payload)
         return self._arrive(element, timestamp)
 
+    def append_many(  # type: ignore[override]
+        self,
+        points: Sequence[Sequence[float]],
+        timestamps: Sequence[float],
+        payloads: Optional[Sequence[Any]] = None,
+    ) -> BatchOutcome:
+        """Ingest a batch of elements stamped ``timestamps``.
+
+        Semantically identical to calling :meth:`append` per element
+        (see :meth:`NofNSkyline.append_many` for the fast path's
+        mechanics); validation is all-or-nothing, so a bad point or
+        timestamp anywhere in the batch leaves the engine untouched.
+
+        Raises
+        ------
+        ValueError
+            If ``timestamps`` disagrees with ``points`` in length, or is
+            not positive and strictly increasing (starting strictly
+            after the previous arrival).
+        """
+        pts = list(points)
+        stamps = [float(t) for t in timestamps]
+        if len(stamps) != len(pts):
+            raise ValueError(
+                f"got {len(pts)} points but {len(stamps)} timestamps"
+            )
+        previous = self._now
+        for timestamp in stamps:
+            if timestamp <= 0:
+                raise ValueError(
+                    f"timestamps must be positive, got {timestamp}"
+                )
+            if timestamp <= previous:
+                raise ValueError(
+                    f"timestamps must be strictly increasing: "
+                    f"{timestamp} <= {previous}"
+                )
+            previous = timestamp
+        elements = self._batch_elements(pts, payloads)
+        return self._ingest_batch(elements, stamps)
+
+    def _note_arrival(self, label: float) -> None:
+        """Advance the clock: the batched path's equivalent of
+        :meth:`append` setting ``now`` before maintenance."""
+        self._now = label
+
     def _window_start(self, new_label: float) -> float:
         """Elements stamped before ``now - horizon`` have expired."""
         return self._now - self.horizon
+
+    def _final_threshold(self, last_label: float, count: int) -> float:
+        """Window start as of the chunk's last (latest-stamped) arrival."""
+        return last_label - self.horizon
 
     # ------------------------------------------------------------------
     # Queries

@@ -50,3 +50,13 @@ class QueryNotRegisteredError(ReproError):
 
 class StreamExhaustedError(ReproError):
     """A finite stream was asked for more elements than it contains."""
+
+
+class StructureCorruptionError(ReproError):
+    """An engine's cross-structure invariants are broken.
+
+    Raised from the maintenance hot path when a safety check fails
+    (e.g. the oldest element of ``R_N`` is not a dominance-graph root
+    at expiry time).  A real exception — not an ``assert`` — so the
+    check survives ``python -O`` production deployments.
+    """

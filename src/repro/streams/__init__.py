@@ -13,7 +13,7 @@ from repro.streams.snapshots import (
     random_n_values,
     snapshot_positions,
 )
-from repro.streams.stream import DataStream, feed
+from repro.streams.stream import DataStream, feed, feed_many
 
 __all__ = [
     "DataStream",
@@ -21,6 +21,7 @@ __all__ = [
     "correlated_stream",
     "distributions",
     "feed",
+    "feed_many",
     "independent_stream",
     "make_stream",
     "materialize",

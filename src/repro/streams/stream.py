@@ -106,6 +106,20 @@ class DataStream:
             raise ValueError(f"count must be >= 0, got {count}")
         return [self.next() for _ in range(count)]
 
+    def batches(self, size: int) -> Iterator[List[Point]]:
+        """The rest of the stream in lists of ``size`` points (the final
+        batch may be shorter) — the shape ``append_many`` consumes."""
+        if size < 1:
+            raise ValueError(f"batch size must be >= 1, got {size}")
+        batch: List[Point] = []
+        for point in self:
+            batch.append(point)
+            if len(batch) == size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
     def __iter__(self) -> Iterator[Point]:
         while True:
             try:
@@ -124,4 +138,31 @@ def feed(engine, stream: Iterable[Sequence[float]], limit: Optional[int] = None)
             break
         engine.append(point)
         fed += 1
+    return fed
+
+
+def feed_many(
+    engine,
+    stream: Iterable[Sequence[float]],
+    batch_size: int,
+    limit: Optional[int] = None,
+) -> int:
+    """Push up to ``limit`` points from ``stream`` into ``engine`` in
+    batches of ``batch_size`` via ``append_many`` (the final batch may
+    be shorter); return how many points were fed."""
+    if batch_size < 1:
+        raise ValueError(f"batch size must be >= 1, got {batch_size}")
+    fed = 0
+    batch: List[Sequence[float]] = []
+    for point in stream:
+        if limit is not None and fed + len(batch) >= limit:
+            break
+        batch.append(point)
+        if len(batch) == batch_size:
+            engine.append_many(batch)
+            fed += len(batch)
+            batch = []
+    if batch:
+        engine.append_many(batch)
+        fed += len(batch)
     return fed

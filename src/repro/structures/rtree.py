@@ -31,14 +31,14 @@ unique (they are stream positions).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+import heapq
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import (
     DimensionMismatchError,
     DuplicateKeyError,
     KeyNotFoundError,
 )
-from repro.structures.heap import MaxIndexedHeap
 from repro.structures.mbr import MBR
 
 Point = Tuple[float, ...]
@@ -478,15 +478,28 @@ class RTree:
         if len(q) != self.dim:
             raise DimensionMismatchError(self.dim, len(q))
         removed: List[RTreeEntry] = []
-        self._dfs_remove(self._root, q, removed)
+        dirty: Set[int] = set()
+        self._dfs_remove(self._root, q, removed, dirty)
+        if not removed:
+            return removed
         for entry in removed:
             del self._entries[entry.kappa]
             entry._leaf = None
-        self._rebalance_after_bulk_delete()
+        self._rebalance_after_bulk_delete(dirty)
         return removed
 
-    def _dfs_remove(self, node: _Node, q: Sequence[float], removed: List[RTreeEntry]) -> bool:
-        """Recursive removal; returns True if the subtree became empty."""
+    def _dfs_remove(
+        self,
+        node: _Node,
+        q: Sequence[float],
+        removed: List[RTreeEntry],
+        dirty: Set[int],
+    ) -> bool:
+        """Recursive removal; returns True if the subtree became empty.
+
+        Nodes whose child list changed (and their ancestors) are added
+        to ``dirty`` so the rebalance pass can skip untouched subtrees.
+        """
         if node.mbr is None or not node.mbr.may_contain_dominated(q):
             return False
         if node.mbr.fully_dominated_by(q):
@@ -494,6 +507,7 @@ class RTree:
             self._collect_entries(node, removed)
             node.children = []
             node.recompute()
+            dirty.add(id(node))
             return True
         if node.is_leaf:
             kept = []
@@ -502,40 +516,57 @@ class RTree:
                     removed.append(entry)
                 else:
                     kept.append(entry)
+            if len(kept) == len(node.children):
+                return False
             node.children = kept
             node.recompute()
+            dirty.add(id(node))
             return not kept
         survivors = []
         changed = False
         for child in node.children:
-            emptied = self._dfs_remove(child, q, removed)
+            emptied = self._dfs_remove(child, q, removed, dirty)
             if emptied:
                 child.parent = None
                 changed = True
             else:
                 survivors.append(child)
-        if changed or len(survivors) != len(node.children):
-            node.children = survivors
+        if not changed and not dirty & {id(c) for c in survivors}:
+            return False
+        node.children = survivors
         # Shrink on return (Figure 8) so ancestors prune with tight boxes.
         node.recompute()
+        dirty.add(id(node))
         return not survivors
 
-    def _rebalance_after_bulk_delete(self) -> None:
-        """Condense every underfull node left behind by a bulk delete."""
+    def _rebalance_after_bulk_delete(self, dirty: Optional[Set[int]] = None) -> None:
+        """Condense every underfull node left behind by a bulk delete.
+
+        ``dirty`` (node ids touched by the delete) restricts the walk to
+        the modified paths; ``None`` condenses the whole tree.
+        """
         orphans: List[RTreeEntry] = []
-        self._prune_underfull(self._root, orphans, is_root=True)
+        self._prune_underfull(self._root, orphans, is_root=True, dirty=dirty)
         self._shrink_root()
         for orphan in orphans:
             leaf = self._choose_leaf(orphan.point)
             leaf.adopt(orphan)
             self._handle_overflow_and_adjust(leaf)
 
-    def _prune_underfull(self, node: _Node, orphans: List[RTreeEntry], is_root: bool) -> bool:
+    def _prune_underfull(
+        self,
+        node: _Node,
+        orphans: List[RTreeEntry],
+        is_root: bool,
+        dirty: Optional[Set[int]] = None,
+    ) -> bool:
         """Post-order prune; returns True if ``node`` should be detached."""
         if not node.is_leaf:
             survivors = []
             for child in node.children:
-                if self._prune_underfull(child, orphans, is_root=False):
+                if dirty is not None and id(child) not in dirty:
+                    survivors.append(child)
+                elif self._prune_underfull(child, orphans, is_root=False, dirty=dirty):
                     child.parent = None
                 else:
                     survivors.append(child)
@@ -565,8 +596,11 @@ class RTree:
         """
         if len(q) != self.dim:
             raise DimensionMismatchError(self.dim, len(q))
-        heap: MaxIndexedHeap[int] = MaxIndexedHeap()
-        frontier: Dict[int, Any] = {}
+        # Max-heap via negated priorities on the stdlib heap (this search
+        # runs once per arrival — the C heap beats the indexed heap, and
+        # no decrease-key is ever needed).  The counter breaks priority
+        # ties so heapq never compares nodes/entries.
+        heap: List[Tuple[int, int, Any]] = []
         counter = 0
 
         def push(item: Any, priority: int) -> None:
@@ -576,16 +610,14 @@ class RTree:
                 # single entries, not nodes.
                 if isinstance(item, RTreeEntry):
                     return
-            frontier[counter] = item
-            heap.push(counter, priority)
+            heapq.heappush(heap, (-priority, counter, item))
             counter += 1
 
         if self._root.mbr is not None:
             push(self._root, self._root.max_kappa)
 
         while heap:
-            key, _ = heap.pop()
-            item = frontier.pop(key)
+            _, _, item = heapq.heappop(heap)
             if isinstance(item, RTreeEntry):
                 if kappa_below is not None and item.kappa >= kappa_below:
                     continue

@@ -186,3 +186,121 @@ class TestPropertyRoundTrip:
                 assert [e.kappa for e in clone.query(n1, n2)] == [
                     e.kappa for e in engine.query(n1, n2)
                 ]
+
+
+class TestRTreeConfigRoundTrip:
+    """Snapshots must record the R-tree tuning (fan-out bounds and split
+    policy) so a restored engine evolves identically — and must still
+    accept older snapshots that predate the ``rtree`` section."""
+
+    coord = st.integers(0, 6).map(lambda v: v / 6)
+
+    FANOUTS = st.tuples(st.integers(4, 16), st.integers(2, 5)).filter(
+        lambda t: t[1] * 2 <= t[0]
+    )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=40),
+        st.integers(1, 10),
+        FANOUTS,
+        st.sampled_from(["quadratic", "rstar"]),
+    )
+    def test_nofn_tuning_round_trips(self, history, capacity, fanout, split):
+        max_entries, min_entries = fanout
+        engine = NofNSkyline(
+            dim=2,
+            capacity=capacity,
+            rtree_max_entries=max_entries,
+            rtree_min_entries=min_entries,
+            rtree_split=split,
+        )
+        for point in history:
+            engine.append(point)
+        clone = restore(snapshot(engine))
+        assert clone._rtree.max_entries == max_entries
+        assert clone._rtree.min_entries == min_entries
+        assert clone._rtree.split_policy == split
+        clone.check_invariants()
+        for n in range(1, capacity + 1):
+            assert [e.kappa for e in clone.query(n)] == [
+                e.kappa for e in engine.query(n)
+            ]
+
+    def test_timewindow_tuning_round_trips(self):
+        engine = TimeWindowSkyline(
+            dim=2,
+            horizon=5.0,
+            rtree_max_entries=6,
+            rtree_min_entries=3,
+            rtree_split="rstar",
+        )
+        for i, point in enumerate(materialize("independent", 2, 60, seed=4)):
+            engine.append(point, float(i + 1))
+        clone = restore(snapshot(engine))
+        assert clone._rtree.max_entries == 6
+        assert clone._rtree.min_entries == 3
+        assert clone._rtree.split_policy == "rstar"
+        assert [e.kappa for e in clone.skyline()] == [
+            e.kappa for e in engine.skyline()
+        ]
+
+    def test_n1n2_tuning_round_trips(self):
+        engine = N1N2Skyline(
+            dim=2,
+            capacity=20,
+            rtree_max_entries=8,
+            rtree_min_entries=4,
+            rtree_split="rstar",
+        )
+        for point in materialize("anticorrelated", 2, 50, seed=9):
+            engine.append(point)
+        clone = restore(snapshot(engine))
+        assert clone._rtree.max_entries == 8
+        assert clone._rtree.min_entries == 4
+        assert clone._rtree.split_policy == "rstar"
+        for n1, n2 in ((1, 20), (5, 10), (20, 20)):
+            assert [e.kappa for e in clone.query(n1, n2)] == [
+                e.kappa for e in engine.query(n1, n2)
+            ]
+
+    def test_old_snapshot_without_rtree_section_restores(self):
+        """Snapshots written before the rtree section existed must load
+        with the default tuning."""
+        engine = NofNSkyline(dim=2, capacity=10)
+        for point in materialize("independent", 2, 30, seed=3):
+            engine.append(point)
+        snap = snapshot(engine)
+        del snap["rtree"]
+        clone = restore(snap)
+        assert clone._rtree.max_entries == 12
+        assert clone._rtree.min_entries == 4
+        assert clone._rtree.split_policy == "quadratic"
+        assert [e.kappa for e in clone.skyline()] == [
+            e.kappa for e in engine.skyline()
+        ]
+
+    def test_malformed_rtree_section_is_rejected(self):
+        engine = NofNSkyline(dim=2, capacity=5)
+        engine.append((0.5, 0.5))
+        snap = snapshot(engine)
+        snap["rtree"] = "bogus"
+        with pytest.raises(SnapshotError):
+            restore(snap)
+
+    def test_clone_with_tuning_keeps_evolving_identically(self):
+        points = materialize("anticorrelated", 2, 120, seed=6)
+        engine = NofNSkyline(
+            dim=2, capacity=30, rtree_max_entries=5, rtree_min_entries=2,
+            rtree_split="rstar",
+        )
+        for point in points[:80]:
+            engine.append(point)
+        clone = restore(snapshot(engine))
+        for point in points[80:]:
+            engine.append(point)
+            clone.append(point)
+        assert engine.dominance_graph_edges() == clone.dominance_graph_edges()
+        assert [e.kappa for e in engine.skyline()] == [
+            e.kappa for e in clone.skyline()
+        ]

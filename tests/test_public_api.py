@@ -68,6 +68,7 @@ class TestExceptionHierarchy:
         exceptions.KeyNotFoundError,
         exceptions.QueryNotRegisteredError,
         exceptions.StreamExhaustedError,
+        exceptions.StructureCorruptionError,
     ]
 
     @pytest.mark.parametrize("error_cls", ALL_ERRORS)

@@ -151,3 +151,41 @@ class TestStabPointClamping:
         engine.append((1.0,))
         # The requested slice ends before the first element existed.
         assert engine.query(3, 7) == []
+
+
+class TestBBSSubnormalTieBreak:
+    """BBS orders its heap by mindist = sum of MBR corner coordinates.
+    Floating-point addition can round two *different* corners to the
+    same sum (e.g. ``1.0 + 1.18e-38 == 1.0``), letting a dominated
+    point pop before its dominator and leak into the result.  The heap
+    priority therefore tie-breaks on the corner vector itself."""
+
+    POINTS = [(1.0, 1.1754943508222875e-38), (1.0, 0.0)]
+
+    def test_subnormal_coordinate_does_not_leak(self):
+        from repro.baselines.bbs import bbs_skyline
+        from repro.baselines.naive import naive_skyline
+
+        assert bbs_skyline(self.POINTS) == naive_skyline(self.POINTS) == [1]
+
+    def test_reversed_order_too(self):
+        from repro.baselines.bbs import bbs_skyline
+        from repro.baselines.naive import naive_skyline
+
+        points = list(reversed(self.POINTS))
+        assert bbs_skyline(points) == naive_skyline(points) == [0]
+
+
+class TestTimeWindowRTreeSplitForwarding:
+    """``TimeWindowSkyline.__init__`` once dropped ``rtree_split`` on
+    the floor instead of forwarding it to the base engine."""
+
+    def test_split_policy_reaches_the_tree(self):
+        engine = TimeWindowSkyline(dim=2, horizon=4.0, rtree_split="rstar")
+        assert engine._rtree.split_policy == "rstar"
+        default = TimeWindowSkyline(dim=2, horizon=4.0)
+        assert default._rtree.split_policy == "quadratic"
+
+    def test_invalid_split_is_rejected(self):
+        with pytest.raises(ValueError):
+            TimeWindowSkyline(dim=2, horizon=4.0, rtree_split="bogus")
