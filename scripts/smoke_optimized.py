@@ -13,11 +13,16 @@ optimisation level it is launched with, and verifies that:
 
 Exits non-zero on the first discrepancy.  Run as:
 
-    PYTHONPATH=src python -O scripts/smoke_optimized.py
+    PYTHONPATH=src python -O scripts/smoke_optimized.py [--sanitize MODE]
+
+``--sanitize sampled`` (or ``full``) additionally runs every engine
+with the invariant sanitizer attached, proving the runtime verifiers
+themselves survive ``-O``.
 """
 
 from __future__ import annotations
 
+import argparse
 import random
 import sys
 
@@ -43,12 +48,12 @@ def points_stream(count: int, dim: int, seed: int):
     return [tuple(rng.random() for _ in range(dim)) for _ in range(count)]
 
 
-def smoke_nofn() -> None:
+def smoke_nofn(sanitize: str) -> None:
     points = points_stream(400, 3, seed=1)
-    elem = NofNSkyline(dim=3, capacity=100)
+    elem = NofNSkyline(dim=3, capacity=100, sanitize=sanitize)
     for p in points:
         elem.append(p)
-    batched = NofNSkyline(dim=3, capacity=100)
+    batched = NofNSkyline(dim=3, capacity=100, sanitize=sanitize)
     batched.append_many(points[:250])
     batched.append_many(points[250:])
     for n in (1, 50, 100):
@@ -60,13 +65,13 @@ def smoke_nofn() -> None:
     batched.check_invariants()
 
 
-def smoke_timewindow() -> None:
+def smoke_timewindow(sanitize: str) -> None:
     points = points_stream(200, 2, seed=2)
     stamps = [0.5 * (i + 1) for i in range(len(points))]
-    elem = TimeWindowSkyline(dim=2, horizon=20.0)
+    elem = TimeWindowSkyline(dim=2, horizon=20.0, sanitize=sanitize)
     for p, t in zip(points, stamps):
         elem.append(p, t)
-    batched = TimeWindowSkyline(dim=2, horizon=20.0)
+    batched = TimeWindowSkyline(dim=2, horizon=20.0, sanitize=sanitize)
     batched.append_many(points, stamps)
     check(
         [e.kappa for e in batched.skyline()]
@@ -75,12 +80,12 @@ def smoke_timewindow() -> None:
     )
 
 
-def smoke_n1n2() -> None:
+def smoke_n1n2(sanitize: str) -> None:
     points = points_stream(200, 2, seed=3)
-    elem = N1N2Skyline(dim=2, capacity=60)
+    elem = N1N2Skyline(dim=2, capacity=60, sanitize=sanitize)
     for p in points:
         elem.append(p)
-    batched = N1N2Skyline(dim=2, capacity=60)
+    batched = N1N2Skyline(dim=2, capacity=60, sanitize=sanitize)
     batched.append_many(points)
     for n1, n2 in ((1, 60), (10, 40), (60, 60)):
         check(
@@ -91,12 +96,12 @@ def smoke_n1n2() -> None:
     batched.check_invariants()
 
 
-def smoke_skyband() -> None:
+def smoke_skyband(sanitize: str) -> None:
     points = points_stream(200, 2, seed=4)
-    elem = KSkybandEngine(dim=2, capacity=50, k=3)
+    elem = KSkybandEngine(dim=2, capacity=50, k=3, sanitize=sanitize)
     for p in points:
         elem.append(p)
-    batched = KSkybandEngine(dim=2, capacity=50, k=3)
+    batched = KSkybandEngine(dim=2, capacity=50, k=3, sanitize=sanitize)
     batched.append_many(points)
     check(
         [e.kappa for e in batched.skyband()]
@@ -106,9 +111,12 @@ def smoke_skyband() -> None:
     batched.check_invariants()
 
 
-def smoke_continuous() -> None:
+def smoke_continuous(sanitize: str) -> None:
     points = points_stream(150, 2, seed=5)
-    manager = ContinuousQueryManager(NofNSkyline(dim=2, capacity=40))
+    manager = ContinuousQueryManager(
+        NofNSkyline(dim=2, capacity=40, sanitize=sanitize),
+        sanitize=sanitize,
+    )
     handle = manager.register(25)
     manager.append_many(points)
     reference = NofNSkyline(dim=2, capacity=40)
@@ -120,8 +128,8 @@ def smoke_continuous() -> None:
     )
 
 
-def smoke_corruption_check_survives_dash_o() -> None:
-    engine = NofNSkyline(dim=2, capacity=2)
+def smoke_corruption_check_survives_dash_o(sanitize: str) -> None:
+    engine = NofNSkyline(dim=2, capacity=2, sanitize=sanitize)
     engine.append((0.2, 0.8))
     engine.append((0.8, 0.2))
     engine._records[1].parent_kappa = 99  # simulate corruption
@@ -134,14 +142,21 @@ def smoke_corruption_check_survives_dash_o() -> None:
 
 
 def main() -> int:
-    smoke_nofn()
-    smoke_timewindow()
-    smoke_n1n2()
-    smoke_skyband()
-    smoke_continuous()
-    smoke_corruption_check_survives_dash_o()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sanitize", default="off", choices=("off", "sampled", "full"),
+        help="attach the invariant sanitizer to every engine",
+    )
+    args = parser.parse_args()
+    smoke_nofn(args.sanitize)
+    smoke_timewindow(args.sanitize)
+    smoke_n1n2(args.sanitize)
+    smoke_skyband(args.sanitize)
+    smoke_continuous(args.sanitize)
+    smoke_corruption_check_survives_dash_o(args.sanitize)
     mode = "optimized (-O)" if not __debug__ else "debug"
-    print(f"smoke_optimized: all engines OK [{mode}]")
+    print(f"smoke_optimized: all engines OK "
+          f"[{mode}, sanitize={args.sanitize}]")
     return 0
 
 

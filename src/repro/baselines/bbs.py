@@ -21,7 +21,7 @@ Pareto dominance; exact duplicates all reported).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple, Union
 
 from repro.core.dominance import weakly_dominates
 from repro.structures.heap import IndexedHeap
@@ -73,10 +73,10 @@ def bbs_progressive(
         tree.insert(point, kappa=i + 1)
 
     heap: IndexedHeap[int] = IndexedHeap()
-    frontier: dict = {}
+    frontier: Dict[int, Union[RTreeEntry, object]] = {}
     counter = 0
 
-    def push(item, corner: Point) -> None:
+    def push(item: Union[RTreeEntry, object], corner: Point) -> None:
         nonlocal counter
         frontier[counter] = item
         # The corner tie-break matters for correctness, not just

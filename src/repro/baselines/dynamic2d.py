@@ -26,9 +26,9 @@ baselines on distinct inputs.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator, List, Tuple
+from typing import Hashable, Iterator, List, Tuple, Union
 
-from repro.exceptions import DuplicateKeyError, KeyNotFoundError
+from repro.exceptions import DuplicateKeyError, KeyNotFoundError, corruption
 from repro.structures.rbtree import NIL, RBNode, RedBlackTree
 
 _INF = float("inf")
@@ -96,7 +96,7 @@ class Dynamic2DSkyline:
         return
 
     @staticmethod
-    def _order_token(key: Hashable):
+    def _order_token(key: Hashable) -> Union[Hashable, int]:
         # Keys participate in tuple comparison only to disambiguate
         # exact duplicate coordinates; fall back to id() for unorderable
         # keys (stable within a process).
@@ -172,10 +172,20 @@ class Dynamic2DSkyline:
     # ------------------------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Assert tree and min-y aggregate consistency."""
+        """Verify tree and min-y aggregate consistency.
+
+        Raises :class:`~repro.exceptions.StructureCorruptionError` on
+        any violation; the checks survive ``python -O``.
+        """
         self._tree.check_invariants()
         self._check_min_y(self._tree.root)
-        assert len(self._where) == len(self._tree)
+        if len(self._where) != len(self._tree):
+            raise corruption(
+                "dynamic2d",
+                "counts",
+                f"location map holds {len(self._where)} points but the "
+                f"tree holds {len(self._tree)}",
+            )
 
     def _check_min_y(self, node: RBNode) -> float:
         if node is NIL:
@@ -185,5 +195,11 @@ class Dynamic2DSkyline:
             self._check_min_y(node.left),
             self._check_min_y(node.right),
         )
-        assert node.aggregate == expected
+        if node.aggregate != expected:
+            raise corruption(
+                "dynamic2d",
+                "min-y-augmentation",
+                f"node {node.key!r} carries subtree min-y "
+                f"{node.aggregate!r}, recomputation gives {expected!r}",
+            )
         return expected

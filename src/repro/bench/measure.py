@@ -20,6 +20,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.streams.stream import SupportsAppend, SupportsAppendMany
+
 
 @dataclass
 class PerElementCost:
@@ -45,7 +47,7 @@ class PerElementCost:
 
 
 def feed_timed(
-    engine,
+    engine: SupportsAppend,
     points: Iterable[Sequence[float]],
     warmup: int = 0,
     per_element: Optional[Callable[[int], None]] = None,
@@ -86,7 +88,7 @@ def feed_timed(
 
 
 def feed_many_timed(
-    engine,
+    engine: SupportsAppendMany,
     points: Sequence[Sequence[float]],
     batch_size: int,
     warmup: int = 0,

@@ -27,7 +27,7 @@ from __future__ import annotations
 import argparse
 import csv
 import sys
-from typing import List, Optional, Sequence, TextIO, Tuple
+from typing import Iterable, List, Optional, Sequence, TextIO, Tuple, Union
 
 from repro import __version__
 from repro.baselines import (
@@ -40,6 +40,7 @@ from repro.baselines import (
 from repro.bench.reporting import format_percent, format_rate
 from repro.core.nofn import NofNSkyline
 from repro.core.skyband import KSkybandEngine
+from repro.sanitize.sanitizer import MODES
 from repro.streams.generators import distributions, make_stream
 
 ALGORITHMS = {
@@ -90,6 +91,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="ingest through the batched fast path, B points "
                           "per append_many call (aligned to --every "
                           "boundaries); prints batch stats at the end")
+    win.add_argument("--sanitize", default="off", choices=list(MODES),
+                     help="runtime invariant checking: verify the paper's "
+                          "structural theorems after every arrival (full), "
+                          "every 64th maintenance event (sampled), or not "
+                          "at all (off, the default)")
 
     sub.add_parser("info", help="version and capability summary")
     return parser
@@ -111,14 +117,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
 
-def _cmd_generate(args, out: TextIO) -> int:
+def _cmd_generate(args: argparse.Namespace, out: TextIO) -> int:
     writer = csv.writer(out)
     for point in make_stream(args.distribution, args.dim, args.count, args.seed):
         writer.writerow([f"{v:.6f}" for v in point])
     return 0
 
 
-def _cmd_skyline(args, out: TextIO) -> int:
+def _cmd_skyline(args: argparse.Namespace, out: TextIO) -> int:
     points = _read_points(args.input)
     result = ALGORITHMS[args.algorithm](points)
     writer = csv.writer(out)
@@ -130,7 +136,7 @@ def _cmd_skyline(args, out: TextIO) -> int:
     return 0
 
 
-def _cmd_window(args, out: TextIO) -> int:
+def _cmd_window(args: argparse.Namespace, out: TextIO) -> int:
     if args.capacity < 1:
         raise ValueError("--capacity must be >= 1")
     n = args.n if args.n is not None else args.capacity
@@ -147,11 +153,16 @@ def _cmd_window(args, out: TextIO) -> int:
     if not points:
         return 0
     if args.band > 1:
-        engine = KSkybandEngine(
-            dim=len(points[0]), capacity=args.capacity, k=args.band
+        engine: Union[KSkybandEngine, NofNSkyline] = KSkybandEngine(
+            dim=len(points[0]),
+            capacity=args.capacity,
+            k=args.band,
+            sanitize=args.sanitize,
         )
     else:
-        engine = NofNSkyline(dim=len(points[0]), capacity=args.capacity)
+        engine = NofNSkyline(
+            dim=len(points[0]), capacity=args.capacity, sanitize=args.sanitize
+        )
     if args.batch:
         # Batches are clipped at --every boundaries so the reports land
         # after exactly the same arrivals as per-element replay.
@@ -176,13 +187,17 @@ def _cmd_window(args, out: TextIO) -> int:
     return 0
 
 
-def _print_result(out: TextIO, engine, n: int, label: str) -> None:
+def _print_result(
+    out: TextIO, engine: Union[KSkybandEngine, NofNSkyline], n: int, label: str
+) -> None:
     result = engine.query(n)
     kappas = ",".join(str(e.kappa) for e in result)
     print(f"{label}\tn={n}\tsize={len(result)}\tkappas={kappas}", file=out)
 
 
-def _print_batch_stats(out: TextIO, engine) -> None:
+def _print_batch_stats(
+    out: TextIO, engine: Union[KSkybandEngine, NofNSkyline]
+) -> None:
     stats = engine.stats
     print(
         f"batch\tbatches={stats.batches}"
@@ -208,7 +223,7 @@ def _read_points(path: str) -> List[Tuple[float, ...]]:
         return _parse_rows(csv.reader(handle))
 
 
-def _parse_rows(reader) -> List[Tuple[float, ...]]:
+def _parse_rows(reader: Iterable[List[str]]) -> List[Tuple[float, ...]]:
     points: List[Tuple[float, ...]] = []
     dim = None
     for row_number, row in enumerate(reader, start=1):

@@ -36,6 +36,7 @@ from typing import Any, List, Sequence
 from repro.core.element import StreamElement
 from repro.core.events import ArrivalOutcome
 from repro.core.nofn import NofNSkyline
+from repro.core.stats import EngineStats
 
 
 class ApproxNofNSkyline:
@@ -136,7 +137,7 @@ class ApproxNofNSkyline:
         return self._inner.rn_size
 
     @property
-    def stats(self):
+    def stats(self) -> EngineStats:
         """The wrapped engine's counters."""
         return self._inner.stats
 

@@ -39,6 +39,7 @@ from repro.core.element import StreamElement
 from repro.core.events import ArrivalOutcome, BatchOutcome
 from repro.core.nofn import NofNSkyline
 from repro.exceptions import InvalidWindowError, QueryNotRegisteredError
+from repro.sanitize.sanitizer import InvariantSanitizer, SanitizeArg
 from repro.structures.heap import MinIndexedHeap
 
 
@@ -49,6 +50,8 @@ class ContinuousQueryHandle:
     updated by its :class:`ContinuousQueryManager` and read by the
     application.
     """
+
+    __slots__ = ("query_id", "n", "_members", "_heap", "changes")
 
     def __init__(self, query_id: int, n: int) -> None:
         self.query_id = query_id
@@ -103,10 +106,24 @@ class ContinuousQueryManager:
     for batched ingestion, where the engine has already advanced to the
     end of the batch while the manager replays the batch's outcomes one
     arrival at a time.
+
+    Parameters
+    ----------
+    engine:
+        The n-of-N engine to wrap.
+    sanitize:
+        Runtime invariant checking of the manager's own state (trigger
+        heaps, graph mirror, result sync): ``"off"`` (default),
+        ``"sampled"``, ``"full"``, or a shared
+        :class:`~repro.sanitize.InvariantSanitizer`.  Independent of
+        the engine's own ``sanitize`` setting.
     """
 
-    def __init__(self, engine: NofNSkyline) -> None:
+    def __init__(
+        self, engine: NofNSkyline, sanitize: SanitizeArg = "off"
+    ) -> None:
         self.engine = engine
+        self._sanitizer = InvariantSanitizer.coerce(sanitize)
         self._queries: Dict[int, ContinuousQueryHandle] = {}
         self._next_id = 1
         # Dominance-forest mirror over R_N: element, parent kappa (0 for
@@ -198,6 +215,8 @@ class ContinuousQueryManager:
         self._advance_graph(outcome)
         for handle in self._queries.values():
             self._process_query(handle, outcome, removed_kappas, expired_children)
+        if self._sanitizer is not None:
+            self._sanitizer.maybe_verify(self)
 
     def _advance_graph(self, outcome: ArrivalOutcome) -> None:
         """Replay one arrival's maintenance on the dominance-forest
@@ -278,3 +297,29 @@ class ContinuousQueryManager:
             return list(expired_children[kappa])
         children = self._graph_children.get(kappa, ())
         return [self._graph_elements[c] for c in sorted(children)]
+
+    # ------------------------------------------------------------------
+    # Validation (used by the test suite)
+    # ------------------------------------------------------------------
+
+    @property
+    def sanitizer(self) -> Optional[InvariantSanitizer]:
+        """The attached sanitizer, or ``None`` when checking is off."""
+        return self._sanitizer
+
+    @property
+    def sanitize_mode(self) -> str:
+        """The active sanitize mode (``"off"`` when none is attached)."""
+        return "off" if self._sanitizer is None else self._sanitizer.mode
+
+    def check_invariants(self) -> None:
+        """Verify trigger heaps, the graph mirror and result sync.
+
+        Raises
+        ------
+        StructureCorruptionError
+            On the first violated invariant (survives ``python -O``).
+        """
+        from repro.sanitize.checks import verify_continuous
+
+        verify_continuous(self)

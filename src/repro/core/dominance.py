@@ -22,7 +22,7 @@ documented tie-break (DESIGN.md §7).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Sequence
 
 
 def weakly_dominates(x: Sequence[float], y: Sequence[float]) -> bool:
@@ -54,6 +54,8 @@ def incomparable(x: Sequence[float], y: Sequence[float]) -> bool:
     return not weakly_dominates(x, y) and not weakly_dominates(y, x)
 
 
-def dominance_count(point: Sequence[float], others) -> int:
+def dominance_count(
+    point: Sequence[float], others: Iterable[Sequence[float]]
+) -> int:
     """How many of ``others`` strictly dominate ``point`` (O(n*d) scan)."""
     return sum(1 for other in others if dominates(other, point))

@@ -39,7 +39,6 @@ from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.accel.batch_prefilter import BatchPrefilter, CHUNK, iter_chunks
-from repro.core.dominance import weakly_dominates
 from repro.core.element import StreamElement
 from repro.core.stats import EngineStats
 from repro.exceptions import (
@@ -47,6 +46,7 @@ from repro.exceptions import (
     InvalidWindowError,
     StructureCorruptionError,
 )
+from repro.sanitize.sanitizer import InvariantSanitizer, SanitizeArg
 from repro.structures.interval_tree import IntervalHandle, IntervalTree
 from repro.structures.rtree import RTree
 
@@ -83,6 +83,10 @@ class N1N2Skyline:
     capacity:
         ``N`` — the window size; queries may use any
         ``1 <= n1 <= n2 <= N``.
+    sanitize:
+        Runtime invariant checking: ``"off"`` (default), ``"sampled"``,
+        ``"full"``, or a shared
+        :class:`~repro.sanitize.InvariantSanitizer`.
 
     Notes
     -----
@@ -98,6 +102,7 @@ class N1N2Skyline:
         rtree_max_entries: int = 12,
         rtree_min_entries: int = 4,
         rtree_split: str = "quadratic",
+        sanitize: SanitizeArg = "off",
     ) -> None:
         if capacity < 1:
             raise InvalidWindowError(f"capacity must be >= 1, got {capacity}")
@@ -105,6 +110,7 @@ class N1N2Skyline:
             raise ValueError(f"dimension must be >= 1, got {dim}")
         self.dim = dim
         self.capacity = capacity
+        self._sanitizer = InvariantSanitizer.coerce(sanitize)
         self._m = 0
         self._records: Dict[int, _WindowRecord] = {}
         self._live = IntervalTree()  # I_RN   (b = infinity)
@@ -157,6 +163,8 @@ class N1N2Skyline:
         self.stats.record_arrival(
             expired=expired, dominated=demoted, rn_size=len(self._rtree)
         )
+        if self._sanitizer is not None:
+            self._sanitizer.maybe_verify(self)
         return element
 
     def append_many(
@@ -184,6 +192,8 @@ class N1N2Skyline:
         chunk = min(CHUNK, self.capacity)
         for lo, hi in iter_chunks(len(elements), chunk):
             dropped += self._arrive_chunk(elements, lo, hi)
+            if self._sanitizer is not None:
+                self._sanitizer.maybe_verify(self)
         self.stats.record_batch(
             size=len(elements), dropped=dropped, seconds=perf_counter() - started
         )
@@ -413,37 +423,27 @@ class N1N2Skyline:
     # ------------------------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Assert CBC-graph and cross-structure consistency."""
-        expected_window = min(self._m, self.capacity)
-        assert len(self._records) == expected_window
-        assert len(self._live) + len(self._superseded) == expected_window
-        assert len(self._rtree) == len(self._live)
-        self._rtree.check_invariants()
-        self._live.check_invariants()
-        self._superseded.check_invariants()
-        for kappa, record in self._records.items():
-            assert record.element.kappa == kappa
-            interval = record.handle.interval
-            assert interval.high == float(kappa)
-            assert interval.low == float(record.a_kappa)
-            if record.a_kappa:
-                parent = self._records[record.a_kappa]
-                assert parent.element.kappa < kappa
-                assert kappa in parent.dependents
-                assert weakly_dominates(
-                    parent.element.values, record.element.values
-                )
-            if record.in_rn:
-                assert record.b_kappa is None
-                assert kappa in self._rtree
-            else:
-                successor = self._records[record.b_kappa]
-                assert successor.element.kappa > kappa
-                assert weakly_dominates(
-                    successor.element.values, record.element.values
-                )
-            for dep_kappa in record.dependents:
-                assert self._records[dep_kappa].a_kappa == kappa
+        """Verify CBC-graph and cross-structure consistency, with the
+        Theorem-4 ancestors recomputed by brute force.
+
+        Raises
+        ------
+        StructureCorruptionError
+            On the first violated invariant (survives ``python -O``).
+        """
+        from repro.sanitize.checks import verify_n1n2
+
+        verify_n1n2(self)
+
+    @property
+    def sanitizer(self) -> Optional[InvariantSanitizer]:
+        """The attached sanitizer, or ``None`` when checking is off."""
+        return self._sanitizer
+
+    @property
+    def sanitize_mode(self) -> str:
+        """The active sanitize mode (``"off"`` when none is attached)."""
+        return "off" if self._sanitizer is None else self._sanitizer.mode
 
 
 class ContinuousN1N2Query:

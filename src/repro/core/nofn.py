@@ -37,7 +37,6 @@ from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Set
 
 from repro.accel.batch_prefilter import BatchPrefilter, CHUNK, iter_chunks
-from repro.core.dominance import weakly_dominates
 from repro.core.element import StreamElement
 from repro.core.events import ArrivalOutcome, BatchOutcome, ExpiredRecord
 from repro.core.stats import EngineStats
@@ -46,6 +45,7 @@ from repro.exceptions import (
     InvalidWindowError,
     StructureCorruptionError,
 )
+from repro.sanitize.sanitizer import InvariantSanitizer, SanitizeArg
 from repro.structures.interval_tree import IntervalHandle, IntervalTree
 from repro.structures.labelset import LabelSet
 from repro.structures.rtree import RTree
@@ -80,6 +80,11 @@ class NofNSkyline:
         ``N`` — the window size.  Queries may use any ``n <= N``.
     rtree_max_entries / rtree_min_entries:
         Fan-out bounds of the internal R-tree.
+    sanitize:
+        Runtime invariant checking: ``"off"`` (default), ``"sampled"``,
+        ``"full"``, or a ready-made
+        :class:`~repro.sanitize.InvariantSanitizer` to share between
+        engines.  See :mod:`repro.sanitize`.
 
     Notes
     -----
@@ -96,6 +101,7 @@ class NofNSkyline:
         rtree_max_entries: int = 12,
         rtree_min_entries: int = 4,
         rtree_split: str = "quadratic",
+        sanitize: SanitizeArg = "off",
     ) -> None:
         if capacity < 1:
             raise InvalidWindowError(f"capacity must be >= 1, got {capacity}")
@@ -103,6 +109,7 @@ class NofNSkyline:
             raise ValueError(f"dimension must be >= 1, got {dim}")
         self.dim = dim
         self.capacity = capacity
+        self._sanitizer = InvariantSanitizer.coerce(sanitize)
         self._m = 0
         self._records: Dict[int, _Record] = {}
         self._labels: LabelSet[_Record] = LabelSet()
@@ -189,6 +196,8 @@ class NofNSkyline:
             dominated=len(dominated),
             rn_size=len(self._records),
         )
+        if self._sanitizer is not None:
+            self._sanitizer.maybe_verify(self)
         return ArrivalOutcome(
             element=element,
             seen_so_far=self._m,
@@ -257,6 +266,8 @@ class NofNSkyline:
         dropped = 0
         for lo, hi in iter_chunks(len(elements)):
             dropped += self._arrive_chunk(elements, labels, lo, hi, outcomes)
+            if self._sanitizer is not None:
+                self._sanitizer.maybe_verify(self)
         batch = BatchOutcome(tuple(outcomes), prefilter_dropped=dropped)
         self.stats.record_batch(
             size=len(elements), dropped=dropped, seconds=perf_counter() - started
@@ -558,6 +569,16 @@ class NofNSkyline:
         """``|R_N|`` — the minimized element count of Theorem 1."""
         return len(self._records)
 
+    @property
+    def sanitizer(self) -> Optional[InvariantSanitizer]:
+        """The attached sanitizer, or ``None`` when checking is off."""
+        return self._sanitizer
+
+    @property
+    def sanitize_mode(self) -> str:
+        """The active sanitize mode (``"off"`` when none is attached)."""
+        return "off" if self._sanitizer is None else self._sanitizer.mode
+
     def non_redundant(self) -> List[StreamElement]:
         """The elements of ``R_N``, oldest first."""
         return [record.element for _, record in self._labels.items()]
@@ -591,26 +612,14 @@ class NofNSkyline:
     # ------------------------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Assert cross-structure consistency and the forest property."""
-        assert len(self._records) == len(self._labels) == len(self._rtree)
-        assert len(self._intervals) == len(self._records)
-        self._rtree.check_invariants()
-        self._intervals.check_invariants()
-        self._labels.check_invariants()
-        for kappa, record in self._records.items():
-            assert record.element.kappa == kappa
-            assert record.handle is not None
-            interval = record.handle.interval
-            assert interval.high == record.label
-            if record.parent_kappa == 0:
-                assert interval.low == 0.0
-            else:
-                parent = self._records[record.parent_kappa]
-                assert interval.low == parent.label
-                assert kappa in parent.children
-                assert parent.element.kappa < kappa, "parent must be older"
-                assert weakly_dominates(
-                    parent.element.values, record.element.values
-                ), "parent must dominate child"
-            for child_kappa in record.children:
-                assert self._records[child_kappa].parent_kappa == kappa
+        """Verify cross-structure consistency, the forest property and
+        the paper's theorems over the current state.
+
+        Raises
+        ------
+        StructureCorruptionError
+            On the first violated invariant (survives ``python -O``).
+        """
+        from repro.sanitize.checks import verify_nofn
+
+        verify_nofn(self)

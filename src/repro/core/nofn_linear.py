@@ -24,10 +24,12 @@ the R-tree's pruning pays — the trade-off the paper's design implies.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.dominance import weakly_dominates
 from repro.core.nofn import NofNSkyline
+from repro.exceptions import corruption
+from repro.sanitize.sanitizer import SanitizeArg
 
 
 class _ScanIndex:
@@ -42,14 +44,16 @@ class _ScanIndex:
     class _Entry:
         __slots__ = ("point", "kappa", "data")
 
-        def __init__(self, point, kappa, data):
-            self.point = point
+        def __init__(
+            self, point: Sequence[float], kappa: int, data: object
+        ) -> None:
+            self.point = tuple(point)
             self.kappa = kappa
             self.data = data
 
     def __init__(self, dim: int) -> None:
         self.dim = dim
-        self._entries = {}
+        self._entries: Dict[int, _ScanIndex._Entry] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -57,12 +61,14 @@ class _ScanIndex:
     def __contains__(self, kappa: int) -> bool:
         return kappa in self._entries
 
-    def insert(self, point: Sequence[float], kappa: int, data=None):
-        entry = self._Entry(tuple(point), kappa, data)
+    def insert(
+        self, point: Sequence[float], kappa: int, data: object = None
+    ) -> "_ScanIndex._Entry":
+        entry = self._Entry(point, kappa, data)
         self._entries[kappa] = entry
         return entry
 
-    def delete(self, kappa: int):
+    def delete(self, kappa: int) -> "_ScanIndex._Entry":
         return self._entries.pop(kappa)
 
     def remove_dominated(self, q: Sequence[float]) -> List["_ScanIndex._Entry"]:
@@ -89,7 +95,13 @@ class _ScanIndex:
 
     def check_invariants(self) -> None:
         for kappa, entry in self._entries.items():
-            assert entry.kappa == kappa
+            if entry.kappa != kappa:
+                raise corruption(
+                    "scan_index",
+                    "rtree-links",
+                    f"index key {kappa} holds entry labelled {entry.kappa}",
+                    kappas=(kappa,),
+                )
 
 
 class LinearScanNofNSkyline(NofNSkyline):
@@ -100,7 +112,13 @@ class LinearScanNofNSkyline(NofNSkyline):
     benchmarks and as a correctness cross-check.
     """
 
-    def __init__(self, dim: int, capacity: int, **_ignored) -> None:
-        super().__init__(dim, capacity)
+    def __init__(
+        self,
+        dim: int,
+        capacity: int,
+        sanitize: SanitizeArg = "off",
+        **_ignored: object,
+    ) -> None:
+        super().__init__(dim, capacity, sanitize=sanitize)
         # Swap the spatial index for the flat scan structure.
         self._rtree = _ScanIndex(dim)  # type: ignore[assignment]

@@ -32,6 +32,7 @@ from repro.core.nofn import NofNSkyline, _Record
 from repro.core.element import StreamElement
 from repro.core.timewindow import TimeWindowSkyline
 from repro.exceptions import ReproError
+from repro.sanitize.sanitizer import SanitizeArg
 
 FORMAT_VERSION = 1
 
@@ -75,6 +76,7 @@ def _snapshot_nofn(engine: NofNSkyline) -> Dict[str, Any]:
         "records": records,
         "stats": engine.stats.snapshot_raw(),
         "rtree": _rtree_config(engine),
+        "sanitize": engine.sanitize_mode,
     }
     if isinstance(engine, TimeWindowSkyline):
         snap["horizon"] = engine.horizon
@@ -82,7 +84,7 @@ def _snapshot_nofn(engine: NofNSkyline) -> Dict[str, Any]:
     return snap
 
 
-def _rtree_config(engine) -> Dict[str, Any]:
+def _rtree_config(engine: Union[NofNSkyline, N1N2Skyline]) -> Dict[str, Any]:
     """The engine's R-tree tuning, so :func:`restore` rebuilds the index
     with the fan-out and split policy the operator chose rather than the
     defaults.  Engines whose index is not an R-tree (the linear-scan
@@ -118,6 +120,7 @@ def _snapshot_n1n2(engine: N1N2Skyline) -> Dict[str, Any]:
         "records": records,
         "stats": engine.stats.snapshot_raw(),
         "rtree": _rtree_config(engine),
+        "sanitize": engine.sanitize_mode,
     }
 
 
@@ -126,27 +129,44 @@ def _snapshot_n1n2(engine: N1N2Skyline) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 
 
-def restore(snap: Dict[str, Any]) -> Union[NofNSkyline, N1N2Skyline]:
-    """Rebuild a live engine from a :func:`snapshot` dict."""
+def restore(
+    snap: Dict[str, Any], sanitize: SanitizeArg = None
+) -> Union[NofNSkyline, N1N2Skyline]:
+    """Rebuild a live engine from a :func:`snapshot` dict.
+
+    ``sanitize`` overrides the sanitize mode recorded in the snapshot
+    (``None`` keeps the recorded mode; snapshots written before the
+    mode was recorded restore with ``"off"``, as they always did).
+    """
     _require(isinstance(snap, dict), "snapshot must be a dict")
     if snap.get("format") != FORMAT_VERSION:
         raise SnapshotError(
             f"unsupported snapshot format: {snap.get('format')!r}"
         )
+    if sanitize is None:
+        sanitize = str(snap.get("sanitize", "off"))
     kind = snap.get("kind")
     if kind == "nofn":
         return _restore_nofn(
             snap,
-            NofNSkyline(snap["dim"], snap["capacity"], **_rtree_kwargs(snap)),
+            NofNSkyline(
+                snap["dim"],
+                snap["capacity"],
+                sanitize=sanitize,
+                **_rtree_kwargs(snap),
+            ),
         )
     if kind == "timewindow":
         engine = TimeWindowSkyline(
-            snap["dim"], snap["horizon"], **_rtree_kwargs(snap)
+            snap["dim"],
+            snap["horizon"],
+            sanitize=sanitize,
+            **_rtree_kwargs(snap),
         )
         engine._now = float(snap["now"])
         return _restore_nofn(snap, engine)
     if kind == "n1n2":
-        return _restore_n1n2(snap)
+        return _restore_n1n2(snap, sanitize)
     raise SnapshotError(f"unknown snapshot kind: {kind!r}")
 
 
@@ -200,8 +220,15 @@ def _restore_nofn(snap: Dict[str, Any], engine: NofNSkyline) -> NofNSkyline:
     return engine
 
 
-def _restore_n1n2(snap: Dict[str, Any]) -> N1N2Skyline:
-    engine = N1N2Skyline(snap["dim"], snap["capacity"], **_rtree_kwargs(snap))
+def _restore_n1n2(
+    snap: Dict[str, Any], sanitize: SanitizeArg = "off"
+) -> N1N2Skyline:
+    engine = N1N2Skyline(
+        snap["dim"],
+        snap["capacity"],
+        sanitize=sanitize,
+        **_rtree_kwargs(snap),
+    )
     engine._m = int(snap["seen_so_far"])
     by_kappa: Dict[int, _WindowRecord] = {}
     for raw in snap["records"]:
@@ -240,7 +267,9 @@ def _restore_n1n2(snap: Dict[str, Any]) -> N1N2Skyline:
     return engine
 
 
-def _restore_stats(engine, raw) -> None:
+def _restore_stats(
+    engine: Union[NofNSkyline, N1N2Skyline], raw: Any
+) -> None:
     if not raw:
         return
     stats = engine.stats
@@ -264,12 +293,12 @@ def _require(condition: bool, message: str) -> None:
 # ----------------------------------------------------------------------
 
 
-def dumps(engine) -> str:
+def dumps(engine: Union[NofNSkyline, N1N2Skyline]) -> str:
     """Snapshot ``engine`` as a JSON string (payloads must be
     JSON-serialisable)."""
     return json.dumps(snapshot(engine))
 
 
-def loads(text: str):
+def loads(text: str) -> Union[NofNSkyline, N1N2Skyline]:
     """Rebuild an engine from :func:`dumps` output."""
     return restore(json.loads(text))

@@ -55,6 +55,7 @@ from repro.exceptions import (
     InvalidWindowError,
     StructureCorruptionError,
 )
+from repro.sanitize.sanitizer import InvariantSanitizer, SanitizeArg
 from repro.structures.interval_tree import IntervalHandle, IntervalTree
 from repro.structures.labelset import LabelSet
 from repro.structures.rtree import RTree
@@ -87,6 +88,10 @@ class KSkybandEngine:
     k:
         Band depth: report elements dominated by fewer than ``k``
         in-window elements.  ``k = 1`` is the skyline.
+    sanitize:
+        Runtime invariant checking: ``"off"`` (default), ``"sampled"``,
+        ``"full"``, or a shared
+        :class:`~repro.sanitize.InvariantSanitizer`.
     """
 
     def __init__(
@@ -97,6 +102,7 @@ class KSkybandEngine:
         rtree_max_entries: int = 12,
         rtree_min_entries: int = 4,
         rtree_split: str = "quadratic",
+        sanitize: SanitizeArg = "off",
     ) -> None:
         if capacity < 1:
             raise InvalidWindowError(f"capacity must be >= 1, got {capacity}")
@@ -107,6 +113,7 @@ class KSkybandEngine:
         self.dim = dim
         self.capacity = capacity
         self.k = k
+        self._sanitizer = InvariantSanitizer.coerce(sanitize)
         self._m = 0
         self._records: Dict[int, _BandRecord] = {}
         self._labels: LabelSet[_BandRecord] = LabelSet()
@@ -158,7 +165,9 @@ class KSkybandEngine:
             if entry is None:
                 break
             bound = entry.kappa
-            if entry.point != element.values:
+            # Duplicate-identity check, not a dominance test: an exact
+            # twin is excluded from older_doms by the tie rule.
+            if entry.point != element.values:  # lint: skip=REPRO004
                 older_doms.append(entry.kappa)
 
         # Dominated elements gain one younger dominator each; those
@@ -186,6 +195,8 @@ class KSkybandEngine:
         self.stats.record_arrival(
             expired=expired, dominated=demoted, rn_size=len(self._records)
         )
+        if self._sanitizer is not None:
+            self._sanitizer.maybe_verify(self)
         return element
 
     def append_many(
@@ -213,6 +224,8 @@ class KSkybandEngine:
         chunk = min(CHUNK, self.capacity)
         for lo, hi in iter_chunks(len(elements), chunk):
             dropped += self._arrive_chunk(elements, lo, hi)
+            if self._sanitizer is not None:
+                self._sanitizer.maybe_verify(self)
         self.stats.record_batch(
             size=len(elements), dropped=dropped, seconds=perf_counter() - started
         )
@@ -301,14 +314,16 @@ class KSkybandEngine:
                         or tree_head.kappa > base_kappa + pend_head
                     ):
                         bound = tree_head.kappa
-                        if tree_head.point != element.values:
+                        # Duplicate-identity check (tie rule), as above.
+                        if tree_head.point != element.values:  # lint: skip=REPRO004
                             older_doms.append(tree_head.kappa)
                         tree_head = self._rtree.max_kappa_dominator(
                             element.values, kappa_below=bound
                         )
                     else:
                         candidate = pending[base_kappa + pend_head]
-                        if candidate.values != element.values:
+                        # Duplicate-identity check (tie rule), as above.
+                        if candidate.values != element.values:  # lint: skip=REPRO004
                             older_doms.append(candidate.kappa)
                         pend_head = None
 
@@ -431,17 +446,24 @@ class KSkybandEngine:
     # ------------------------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Assert cross-structure consistency."""
-        assert len(self._records) == len(self._labels) == len(self._rtree)
-        assert len(self._intervals) == len(self._records)
-        self._rtree.check_invariants()
-        self._intervals.check_invariants()
-        self._labels.check_invariants()
-        for kappa, record in self._records.items():
-            assert record.element.kappa == kappa
-            assert 0 <= record.younger < self.k
-            assert len(record.older_doms) <= self.k
-            assert record.older_doms == sorted(record.older_doms, reverse=True)
-            interval = record.handle.interval
-            assert interval.high == float(kappa)
-            assert interval.low == float(self._threshold_kappa(record))
+        """Verify cross-structure consistency and band membership
+        against brute force.
+
+        Raises
+        ------
+        StructureCorruptionError
+            On the first violated invariant (survives ``python -O``).
+        """
+        from repro.sanitize.checks import verify_skyband
+
+        verify_skyband(self)
+
+    @property
+    def sanitizer(self) -> Optional[InvariantSanitizer]:
+        """The attached sanitizer, or ``None`` when checking is off."""
+        return self._sanitizer
+
+    @property
+    def sanitize_mode(self) -> str:
+        """The active sanitize mode (``"off"`` when none is attached)."""
+        return "off" if self._sanitizer is None else self._sanitizer.mode

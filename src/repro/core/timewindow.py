@@ -25,6 +25,7 @@ from repro.core.element import StreamElement
 from repro.core.events import ArrivalOutcome, BatchOutcome
 from repro.core.nofn import NofNSkyline
 from repro.exceptions import InvalidWindowError
+from repro.sanitize.sanitizer import SanitizeArg
 
 
 class TimeWindowSkyline(NofNSkyline):
@@ -41,6 +42,9 @@ class TimeWindowSkyline(NofNSkyline):
     rtree_max_entries / rtree_min_entries / rtree_split:
         Tuning of the internal R-tree, forwarded verbatim to
         :class:`~repro.core.nofn.NofNSkyline`.
+    sanitize:
+        Runtime invariant checking, forwarded verbatim (see
+        :mod:`repro.sanitize`).
     """
 
     def __init__(
@@ -50,6 +54,7 @@ class TimeWindowSkyline(NofNSkyline):
         rtree_max_entries: int = 12,
         rtree_min_entries: int = 4,
         rtree_split: str = "quadratic",
+        sanitize: SanitizeArg = "off",
     ) -> None:
         if horizon <= 0:
             raise InvalidWindowError(f"horizon must be positive, got {horizon}")
@@ -60,6 +65,7 @@ class TimeWindowSkyline(NofNSkyline):
             rtree_max_entries=rtree_max_entries,
             rtree_min_entries=rtree_min_entries,
             rtree_split=rtree_split,
+            sanitize=sanitize,
         )
         self.horizon = float(horizon)
         self._now = 0.0
@@ -191,7 +197,31 @@ class TimeWindowSkyline(NofNSkyline):
             "use query_last(duration) instead of query(n)"
         )
 
+    def query_scan(self, n: int) -> List[StreamElement]:
+        """Count-based queries do not apply to a time window.
+
+        Overridden alongside :meth:`query`: the inherited scan would
+        treat ``n`` as a count against *timestamp* labels and silently
+        return wrong results.
+        """
+        raise InvalidWindowError(
+            "TimeWindowSkyline answers time-period queries; "
+            "use query_last(duration) instead of query_scan(n)"
+        )
+
     @property
     def now(self) -> float:
         """Timestamp of the most recent arrival (0.0 before any)."""
         return self._now
+
+    def check_invariants(self) -> None:
+        """Verify the engine against time-based brute force.
+
+        Raises
+        ------
+        StructureCorruptionError
+            On the first violated invariant (survives ``python -O``).
+        """
+        from repro.sanitize.checks import verify_timewindow
+
+        verify_timewindow(self)

@@ -3,9 +3,19 @@
 All errors raised by the library derive from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while
 letting genuine programming errors (``TypeError`` et al.) propagate.
+
+This module also hosts :class:`SanitizerReport`, the structured payload
+attached to every :class:`StructureCorruptionError`.  It lives here —
+rather than in :mod:`repro.sanitize` — because the data-structure
+substrates raise corruption errors themselves and must not import the
+sanitizer subsystem (which imports the engines, which import the
+structures).
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
 
 
 class ReproError(Exception):
@@ -52,6 +62,51 @@ class StreamExhaustedError(ReproError):
     """A finite stream was asked for more elements than it contains."""
 
 
+@dataclass(frozen=True)
+class SanitizerReport:
+    """Structured description of one broken invariant.
+
+    Attached to every :class:`StructureCorruptionError` raised by the
+    invariant checks so that operators (and the mutation-style test
+    suite) can tell *which* structure broke *which* invariant without
+    parsing the message.
+
+    Attributes
+    ----------
+    structure:
+        The structure at fault (``"rtree"``, ``"interval_tree"``,
+        ``"labelset"``, ``"heap"``, ``"rbtree"``, ``"dominance_graph"``,
+        ``"R_N"``, ``"trigger_heap"`` …).
+    invariant:
+        Machine-readable invariant name from the catalogue in
+        ``docs/DEVELOPING.md`` (``"non-redundancy"``, ``"forest"``,
+        ``"interval-encoding"``, ``"stabbing-bruteforce"``,
+        ``"rtree-augmentation"``, ``"heap-order"`` …).
+    message:
+        Human-readable details.
+    kappas:
+        Arrival labels of the offending elements, when known.
+    engine:
+        Class name of the engine/manager under verification (empty for
+        standalone structure checks).
+    """
+
+    structure: str
+    invariant: str
+    message: str
+    kappas: Tuple[int, ...] = field(default=())
+    engine: str = ""
+
+    def describe(self) -> str:
+        """One-line rendering used as the exception message."""
+        where = f"{self.engine}." if self.engine else ""
+        suffix = f" (kappas={list(self.kappas)})" if self.kappas else ""
+        return (
+            f"[{where}{self.structure}] invariant "
+            f"'{self.invariant}' violated: {self.message}{suffix}"
+        )
+
+
 class StructureCorruptionError(ReproError):
     """An engine's cross-structure invariants are broken.
 
@@ -59,4 +114,32 @@ class StructureCorruptionError(ReproError):
     (e.g. the oldest element of ``R_N`` is not a dominance-graph root
     at expiry time).  A real exception — not an ``assert`` — so the
     check survives ``python -O`` production deployments.
+
+    The optional ``report`` carries a :class:`SanitizerReport` pinning
+    the broken invariant; checks raised from the invariant-sanitizer
+    subsystem always attach one.
     """
+
+    def __init__(
+        self, message: str, report: Optional[SanitizerReport] = None
+    ) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+def corruption(
+    structure: str,
+    invariant: str,
+    message: str,
+    kappas: Tuple[int, ...] = (),
+    engine: str = "",
+) -> StructureCorruptionError:
+    """Build a :class:`StructureCorruptionError` with an attached report."""
+    report = SanitizerReport(
+        structure=structure,
+        invariant=invariant,
+        message=message,
+        kappas=kappas,
+        engine=engine,
+    )
+    return StructureCorruptionError(report.describe(), report)

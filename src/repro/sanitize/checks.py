@@ -1,0 +1,752 @@
+"""Invariant verifiers for every engine in the library.
+
+Each ``verify_*`` function re-derives, from first principles, the
+properties the paper proves about its engine's state and raises
+:class:`~repro.exceptions.StructureCorruptionError` (carrying a
+:class:`~repro.exceptions.SanitizerReport`) on the first violation.
+Nothing here uses ``assert``, so every check survives ``python -O``.
+
+The invariant catalogue (the ``invariant`` field of the report):
+
+================== ====================================================
+``counts``          cross-structure sizes, label/window membership
+``non-redundancy``  Theorem 1: no ``R_N`` element has a younger
+                    in-window weak dominator inside ``R_N``
+``forest``          the critical-dominance graph is an acyclic forest
+                    with consistent parent/child links (acyclicity
+                    follows from every parent being strictly older)
+``critical-parent`` the recorded parent is a dominator and is the
+                    *youngest* older dominator within ``R_N``
+``interval-encoding`` each element's interval is exactly
+                    ``(label(parent), label(e)]`` (Theorem 3) /
+                    ``(kappa(a_e), kappa(e)]`` (section 4) /
+                    ``(threshold, kappa(e)]`` (k-skyband)
+``stabbing-bruteforce`` stabbing-query answers equal a brute-force
+                    skyline/skyband of the window suffix
+``cbc-ancestor``    Theorem 4's ``a_e``/``b_e`` ancestors match a
+                    brute-force recomputation over ``P_N``
+``band-count``      k-skyband younger-dominator counters are in range
+                    and consistent with the retained set
+``trigger-heap``    a continuous query's min-heap mirrors its result
+``graph-mirror``    the manager's dominance-forest mirror matches the
+                    engine's graph (checked only when in sync)
+``result-sync``     a continuous result equals the stabbing answer
+================== ====================================================
+
+plus the structure-level invariants raised by the structures themselves
+(``rbtree-*``, ``max-high-augmentation``, ``labelset-*``, ``heap-*``,
+``rtree-*``).
+
+Import discipline
+-----------------
+The engines call these verifiers (their ``check_invariants`` delegate
+here), so at module level this file may only import *leaf* modules:
+:mod:`repro.core.dominance`, :mod:`repro.core.element` and
+:mod:`repro.exceptions`.  Engine types appear only under
+``TYPE_CHECKING`` and in docstrings.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence
+
+from repro.core.dominance import dominates, weakly_dominates
+from repro.core.element import StreamElement
+from repro.exceptions import corruption
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.continuous import ContinuousQueryManager
+    from repro.core.n1n2 import N1N2Skyline
+    from repro.core.nofn import NofNSkyline
+    from repro.core.skyband import KSkybandEngine
+    from repro.core.timewindow import TimeWindowSkyline
+
+__all__ = [
+    "verify_continuous",
+    "verify_n1n2",
+    "verify_nofn",
+    "verify_skyband",
+    "verify_timewindow",
+]
+
+
+def _beats(f: StreamElement, e: StreamElement) -> bool:
+    """Whether ``f`` excludes ``e`` from a skyline/skyband under the
+    library's tie convention (DESIGN.md §7): strict dominance, or a
+    *younger* exact duplicate."""
+    return weakly_dominates(f.values, e.values) and (
+        f.kappa > e.kappa or dominates(f.values, e.values)
+    )
+
+
+def _brute_skyline(elements: Sequence[StreamElement]) -> List[int]:
+    """Kappas of the skyline of ``elements``, ascending (O(n^2) scan)."""
+    return sorted(
+        e.kappa
+        for e in elements
+        if not any(_beats(f, e) for f in elements if f is not e)
+    )
+
+
+# ----------------------------------------------------------------------
+# n-of-N family (NofNSkyline / TimeWindowSkyline)
+# ----------------------------------------------------------------------
+
+
+def verify_nofn(engine: "NofNSkyline") -> None:
+    """Verify every documented invariant of an n-of-N engine.
+
+    Raises
+    ------
+    StructureCorruptionError
+        On the first violated invariant.
+    """
+    name = type(engine).__name__
+    _check_nofn_state(engine, name)
+    _check_nofn_stabbing(engine, name)
+
+
+def verify_timewindow(engine: "TimeWindowSkyline") -> None:
+    """Verify a time-window engine: the n-of-N structural invariants
+    plus time-based stabbing answers.
+
+    Raises
+    ------
+    StructureCorruptionError
+        On the first violated invariant.
+    """
+    name = type(engine).__name__
+    _check_nofn_state(engine, name)
+    _check_timewindow_stabbing(engine, name)
+
+
+def _check_nofn_state(engine: "NofNSkyline", name: str) -> None:
+    """Counts, structure health, dominance forest, interval encoding
+    and Theorem-1 non-redundancy — shared by both label schemes."""
+    records = engine._records
+    sizes = (
+        len(records),
+        len(engine._labels),
+        len(engine._rtree),
+        len(engine._intervals),
+    )
+    if len(set(sizes)) != 1:
+        raise corruption(
+            "engine",
+            "counts",
+            f"structure sizes diverged: records={sizes[0]}, "
+            f"labels={sizes[1]}, rtree={sizes[2]}, intervals={sizes[3]}",
+            engine=name,
+        )
+    engine._rtree.check_invariants()
+    engine._intervals.check_invariants()
+    engine._labels.check_invariants()
+
+    if engine._labels:
+        oldest_label, _ = engine._labels.oldest()
+        youngest_label, _ = engine._labels.youngest()
+        threshold = engine._window_start(youngest_label)
+        if oldest_label < threshold:
+            raise corruption(
+                "engine",
+                "counts",
+                f"retained label {oldest_label} precedes the window "
+                f"start {threshold}",
+                engine=name,
+            )
+
+    ordered = sorted(records)
+    for kappa in ordered:
+        record = records[kappa]
+        if record.element.kappa != kappa:
+            raise corruption(
+                "engine",
+                "counts",
+                f"record keyed {kappa} holds element "
+                f"kappa={record.element.kappa}",
+                kappas=(kappa,),
+                engine=name,
+            )
+        if record.handle is None:
+            raise corruption(
+                "engine",
+                "interval-encoding",
+                f"element {kappa} of R_N has no interval",
+                kappas=(kappa,),
+                engine=name,
+            )
+        interval = record.handle.interval
+        if interval.high != record.label:
+            raise corruption(
+                "engine",
+                "interval-encoding",
+                f"element {kappa}: interval high {interval.high} != "
+                f"label {record.label}",
+                kappas=(kappa,),
+                engine=name,
+            )
+        if record.parent_kappa == 0:
+            if interval.low != 0.0:
+                raise corruption(
+                    "engine",
+                    "interval-encoding",
+                    f"root {kappa}: interval low {interval.low} != 0",
+                    kappas=(kappa,),
+                    engine=name,
+                )
+        else:
+            parent = records.get(record.parent_kappa)
+            if parent is None:
+                raise corruption(
+                    "engine",
+                    "forest",
+                    f"element {kappa}: critical parent "
+                    f"{record.parent_kappa} is missing from R_N",
+                    kappas=(kappa, record.parent_kappa),
+                    engine=name,
+                )
+            if parent.element.kappa >= kappa:
+                raise corruption(
+                    "engine",
+                    "forest",
+                    f"element {kappa}: critical parent "
+                    f"{record.parent_kappa} is not older",
+                    kappas=(kappa, record.parent_kappa),
+                    engine=name,
+                )
+            if kappa not in parent.children:
+                raise corruption(
+                    "engine",
+                    "forest",
+                    f"element {kappa} is missing from the child set of "
+                    f"its parent {record.parent_kappa}",
+                    kappas=(kappa, record.parent_kappa),
+                    engine=name,
+                )
+            if interval.low != parent.label:
+                raise corruption(
+                    "engine",
+                    "interval-encoding",
+                    f"element {kappa}: interval low {interval.low} != "
+                    f"parent label {parent.label}",
+                    kappas=(kappa, record.parent_kappa),
+                    engine=name,
+                )
+            if not weakly_dominates(
+                parent.element.values, record.element.values
+            ):
+                raise corruption(
+                    "engine",
+                    "critical-parent",
+                    f"recorded parent {record.parent_kappa} does not "
+                    f"dominate element {kappa}",
+                    kappas=(kappa, record.parent_kappa),
+                    engine=name,
+                )
+        for child_kappa in record.children:
+            child = records.get(child_kappa)
+            if child is None or child.parent_kappa != kappa:
+                raise corruption(
+                    "engine",
+                    "forest",
+                    f"stale child link {kappa} -> {child_kappa}",
+                    kappas=(kappa, child_kappa),
+                    engine=name,
+                )
+
+    # Theorem 1 (non-redundancy) and the *youngest*-dominator property
+    # of the critical parent, both O(|R_N|^2).
+    for i, kappa in enumerate(ordered):
+        record = records[kappa]
+        for other_kappa in ordered[i + 1 :]:
+            other = records[other_kappa]
+            if weakly_dominates(other.element.values, record.element.values):
+                raise corruption(
+                    "engine",
+                    "non-redundancy",
+                    f"element {kappa} is weakly dominated by the younger "
+                    f"retained element {other_kappa} (Theorem 1)",
+                    kappas=(kappa, other_kappa),
+                    engine=name,
+                )
+        for older_kappa in ordered[:i]:
+            if older_kappa <= record.parent_kappa:
+                continue
+            older = records[older_kappa]
+            if weakly_dominates(older.element.values, record.element.values):
+                raise corruption(
+                    "engine",
+                    "critical-parent",
+                    f"element {kappa}: dominator {older_kappa} is younger "
+                    f"than the recorded critical parent "
+                    f"{record.parent_kappa}",
+                    kappas=(kappa, older_kappa, record.parent_kappa),
+                    engine=name,
+                )
+
+
+def _check_nofn_stabbing(engine: "NofNSkyline", name: str) -> None:
+    """Theorem 3 end-to-end: for several ``n``, the stabbing answer must
+    equal a brute-force skyline of the retained window suffix."""
+    m = engine._m
+    if m == 0:
+        return
+    for n in sorted({1, max(1, engine.capacity // 2), engine.capacity}):
+        stab = max(1, m - n + 1)
+        got = sorted(r.element.kappa for r in engine._intervals.stab(stab))
+        suffix = [
+            record.element
+            for record in engine._records.values()
+            if record.element.kappa >= stab
+        ]
+        expected = _brute_skyline(suffix)
+        if got != expected:
+            raise corruption(
+                "engine",
+                "stabbing-bruteforce",
+                f"stab at {stab} (n={n}) reported kappas {got}, brute "
+                f"force over R_N gives {expected}",
+                engine=name,
+            )
+
+
+def _check_timewindow_stabbing(
+    engine: "TimeWindowSkyline", name: str
+) -> None:
+    """Time-based Theorem 3: stabbing at ``now - tau`` must equal a
+    brute-force skyline of the retained elements stamped within the
+    closed window ``[now - tau, now]``."""
+    if not engine._labels:
+        return
+    oldest_label, _ = engine._labels.oldest()
+    for duration in (engine.horizon / 2, engine.horizon):
+        stab = engine._now - duration
+        if stab <= 0:
+            stab = oldest_label
+        got = sorted(r.element.kappa for r in engine._intervals.stab(stab))
+        suffix = [
+            record.element
+            for record in engine._records.values()
+            if record.label >= stab
+        ]
+        expected = _brute_skyline(suffix)
+        if got != expected:
+            raise corruption(
+                "engine",
+                "stabbing-bruteforce",
+                f"stab at {stab} (last {duration} time units) reported "
+                f"kappas {got}, brute force over R_N gives {expected}",
+                engine=name,
+            )
+
+
+# ----------------------------------------------------------------------
+# (n1,n2)-of-N
+# ----------------------------------------------------------------------
+
+
+def verify_n1n2(engine: "N1N2Skyline") -> None:
+    """Verify every documented invariant of an (n1,n2)-of-N engine.
+
+    Raises
+    ------
+    StructureCorruptionError
+        On the first violated invariant.
+    """
+    name = type(engine).__name__
+    records = engine._records
+    expected_window = min(engine._m, engine.capacity)
+    if len(records) != expected_window:
+        raise corruption(
+            "engine",
+            "counts",
+            f"|P_N| is {len(records)}, expected {expected_window}",
+            engine=name,
+        )
+    if len(engine._live) + len(engine._superseded) != expected_window:
+        raise corruption(
+            "engine",
+            "counts",
+            f"interval trees hold {len(engine._live)} + "
+            f"{len(engine._superseded)} intervals for a window of "
+            f"{expected_window}",
+            engine=name,
+        )
+    if len(engine._rtree) != len(engine._live):
+        raise corruption(
+            "engine",
+            "counts",
+            f"R-tree holds {len(engine._rtree)} entries but I_RN holds "
+            f"{len(engine._live)}",
+            engine=name,
+        )
+    engine._rtree.check_invariants()
+    engine._live.check_invariants()
+    engine._superseded.check_invariants()
+
+    for kappa, record in records.items():
+        if record.element.kappa != kappa:
+            raise corruption(
+                "engine",
+                "counts",
+                f"record keyed {kappa} holds element "
+                f"kappa={record.element.kappa}",
+                kappas=(kappa,),
+                engine=name,
+            )
+        if record.handle is None:
+            raise corruption(
+                "engine",
+                "interval-encoding",
+                f"element {kappa} of P_N has no interval",
+                kappas=(kappa,),
+                engine=name,
+            )
+        interval = record.handle.interval
+        if interval.high != float(kappa) or interval.low != float(
+            record.a_kappa
+        ):
+            raise corruption(
+                "engine",
+                "interval-encoding",
+                f"element {kappa}: interval ({interval.low}, "
+                f"{interval.high}] != ({float(record.a_kappa)}, "
+                f"{float(kappa)}]",
+                kappas=(kappa,),
+                engine=name,
+            )
+        if record.a_kappa:
+            parent = records.get(record.a_kappa)
+            if parent is None or parent.element.kappa >= kappa:
+                raise corruption(
+                    "engine",
+                    "forest",
+                    f"element {kappa}: critical ancestor "
+                    f"{record.a_kappa} is missing or not older",
+                    kappas=(kappa, record.a_kappa),
+                    engine=name,
+                )
+            if kappa not in parent.dependents:
+                raise corruption(
+                    "engine",
+                    "forest",
+                    f"element {kappa} is missing from the dependents of "
+                    f"its ancestor {record.a_kappa}",
+                    kappas=(kappa, record.a_kappa),
+                    engine=name,
+                )
+        if record.in_rn:
+            if record.b_kappa is not None:
+                raise corruption(
+                    "engine",
+                    "cbc-ancestor",
+                    f"element {kappa} is in R_N but has a finite "
+                    f"backward ancestor {record.b_kappa}",
+                    kappas=(kappa,),
+                    engine=name,
+                )
+            if kappa not in engine._rtree:
+                raise corruption(
+                    "engine",
+                    "counts",
+                    f"live element {kappa} is missing from the R-tree",
+                    kappas=(kappa,),
+                    engine=name,
+                )
+        for dep_kappa in record.dependents:
+            dep = records.get(dep_kappa)
+            if dep is None or dep.a_kappa != kappa:
+                raise corruption(
+                    "engine",
+                    "forest",
+                    f"stale dependent link {kappa} -> {dep_kappa}",
+                    kappas=(kappa, dep_kappa),
+                    engine=name,
+                )
+
+    # Theorem 4's ancestors, recomputed by brute force over P_N (which
+    # this engine retains in full).  ``a_e`` uses *strict* dominance: an
+    # older exact duplicate is demoted by the newcomer before the
+    # ancestor search runs, so it can never be recorded (DESIGN.md §7).
+    # ``b_e`` uses *weak* dominance: a younger duplicate does demote.
+    elements = [record.element for record in records.values()]
+    for kappa, record in records.items():
+        point = record.element.values
+        brute_a = 0
+        brute_b = None
+        for other in elements:
+            if other.kappa < kappa:
+                if dominates(other.values, point):
+                    brute_a = max(brute_a, other.kappa)
+            elif other.kappa > kappa and weakly_dominates(
+                other.values, point
+            ):
+                if brute_b is None or other.kappa < brute_b:
+                    brute_b = other.kappa
+        if brute_a != record.a_kappa:
+            raise corruption(
+                "engine",
+                "cbc-ancestor",
+                f"element {kappa}: recorded a_e={record.a_kappa}, brute "
+                f"force gives {brute_a} (Equation 1)",
+                kappas=(kappa, record.a_kappa, brute_a),
+                engine=name,
+            )
+        if brute_b != record.b_kappa:
+            raise corruption(
+                "engine",
+                "cbc-ancestor",
+                f"element {kappa}: recorded b_e={record.b_kappa}, brute "
+                f"force gives {brute_b} (Equation 2)",
+                kappas=(kappa,),
+                engine=name,
+            )
+
+    _check_n1n2_stabbing(engine, name)
+
+
+def _check_n1n2_stabbing(engine: "N1N2Skyline", name: str) -> None:
+    """Algorithm 3 end-to-end against a brute-force skyline of the
+    queried slice (full window retained, so the slice is exact)."""
+    m = engine._m
+    if m == 0:
+        return
+    capacity = engine.capacity
+    pairs = {(1, 1), (1, capacity), (max(1, capacity // 2), capacity)}
+    for n1, n2 in sorted(pairs):
+        upper = m - n1 + 1
+        if upper < 1:
+            continue
+        stab = max(1, m - n2 + 1)
+        got = sorted(
+            record.element.kappa
+            for record in engine._live.stab(stab)
+            if record.element.kappa <= upper
+        )
+        if n1 > 1:
+            got = sorted(
+                got
+                + [
+                    record.element.kappa
+                    for record in engine._superseded.stab(stab)
+                    if record.b_kappa is not None
+                    and record.element.kappa <= upper < record.b_kappa
+                ]
+            )
+        window_slice = [
+            record.element
+            for record in engine._records.values()
+            if stab <= record.element.kappa <= upper
+        ]
+        expected = _brute_skyline(window_slice)
+        if got != expected:
+            raise corruption(
+                "engine",
+                "stabbing-bruteforce",
+                f"({n1},{n2})-of-N stab reported kappas {got}, brute "
+                f"force over the slice gives {expected}",
+                engine=name,
+            )
+
+
+# ----------------------------------------------------------------------
+# k-skyband
+# ----------------------------------------------------------------------
+
+
+def verify_skyband(engine: "KSkybandEngine") -> None:
+    """Verify every documented invariant of a k-skyband engine.
+
+    Raises
+    ------
+    StructureCorruptionError
+        On the first violated invariant.
+    """
+    name = type(engine).__name__
+    records = engine._records
+    sizes = (
+        len(records),
+        len(engine._labels),
+        len(engine._rtree),
+        len(engine._intervals),
+    )
+    if len(set(sizes)) != 1:
+        raise corruption(
+            "engine",
+            "counts",
+            f"structure sizes diverged: records={sizes[0]}, "
+            f"labels={sizes[1]}, rtree={sizes[2]}, intervals={sizes[3]}",
+            engine=name,
+        )
+    engine._rtree.check_invariants()
+    engine._intervals.check_invariants()
+    engine._labels.check_invariants()
+
+    k = engine.k
+    for kappa, record in records.items():
+        if record.element.kappa != kappa:
+            raise corruption(
+                "engine",
+                "counts",
+                f"record keyed {kappa} holds element "
+                f"kappa={record.element.kappa}",
+                kappas=(kappa,),
+                engine=name,
+            )
+        if not 0 <= record.younger < k:
+            raise corruption(
+                "engine",
+                "band-count",
+                f"element {kappa}: younger-dominator count "
+                f"{record.younger} outside [0, {k})",
+                kappas=(kappa,),
+                engine=name,
+            )
+        doms = record.older_doms
+        if len(doms) > k or doms != sorted(doms, reverse=True) or any(
+            d >= kappa or d < 1 for d in doms
+        ):
+            raise corruption(
+                "engine",
+                "band-count",
+                f"element {kappa}: malformed older-dominator list {doms}",
+                kappas=(kappa,),
+                engine=name,
+            )
+        if record.handle is None:
+            raise corruption(
+                "engine",
+                "interval-encoding",
+                f"element {kappa} has no interval",
+                kappas=(kappa,),
+                engine=name,
+            )
+        interval = record.handle.interval
+        expected_low = float(engine._threshold_kappa(record))
+        if interval.high != float(kappa) or interval.low != expected_low:
+            raise corruption(
+                "engine",
+                "interval-encoding",
+                f"element {kappa}: interval ({interval.low}, "
+                f"{interval.high}] != ({expected_low}, {float(kappa)}]",
+                kappas=(kappa,),
+                engine=name,
+            )
+
+    _check_skyband_stabbing(engine, name)
+
+
+def _check_skyband_stabbing(engine: "KSkybandEngine", name: str) -> None:
+    """Generalised Theorem 3: stabbing answers must equal brute-force
+    k-skyband membership counted over the retained suffix (exact: an
+    element's k youngest in-window dominators are never pruned)."""
+    m = engine._m
+    if m == 0:
+        return
+    k = engine.k
+    for n in sorted({1, max(1, engine.capacity // 2), engine.capacity}):
+        stab = max(1, m - n + 1)
+        got = sorted(r.element.kappa for r in engine._intervals.stab(stab))
+        suffix = [
+            record.element
+            for record in engine._records.values()
+            if record.element.kappa >= stab
+        ]
+        expected = sorted(
+            e.kappa
+            for e in suffix
+            if sum(1 for f in suffix if f is not e and _beats(f, e)) < k
+        )
+        if got != expected:
+            raise corruption(
+                "engine",
+                "stabbing-bruteforce",
+                f"k-skyband stab at {stab} (n={n}, k={k}) reported "
+                f"kappas {got}, brute force gives {expected}",
+                engine=name,
+            )
+
+
+# ----------------------------------------------------------------------
+# Continuous-query manager
+# ----------------------------------------------------------------------
+
+
+def verify_continuous(manager: "ContinuousQueryManager") -> None:
+    """Verify every registered continuous query and the manager's
+    dominance-forest mirror.
+
+    The mirror and result sets are compared against the live engine only
+    when the manager has processed every arrival the engine has ingested
+    (during batch replay the engine runs ahead; the heap invariants are
+    always checked).
+
+    Raises
+    ------
+    StructureCorruptionError
+        On the first violated invariant.
+    """
+    name = type(manager).__name__
+    engine = manager.engine
+    for handle in manager:
+        handle._heap.check_invariants()
+        if sorted(handle._heap.keys()) != sorted(handle._members):
+            raise corruption(
+                "engine",
+                "trigger-heap",
+                f"query {handle.query_id} (n={handle.n}): trigger heap "
+                f"keys disagree with the result set",
+                engine=name,
+            )
+
+    m = engine.seen_so_far
+    mirror = manager._graph_elements
+    in_sync = m == 0 or (bool(mirror) and max(mirror) == m)
+    if not in_sync:
+        return
+
+    if sorted(mirror) != sorted(engine._records):
+        raise corruption(
+            "engine",
+            "graph-mirror",
+            f"mirror holds kappas {sorted(mirror)}, engine holds "
+            f"{sorted(engine._records)}",
+            engine=name,
+        )
+    for kappa, record in engine._records.items():
+        if manager._graph_parent.get(kappa) != record.parent_kappa:
+            raise corruption(
+                "engine",
+                "graph-mirror",
+                f"mirror parent of {kappa} is "
+                f"{manager._graph_parent.get(kappa)}, engine records "
+                f"{record.parent_kappa}",
+                kappas=(kappa,),
+                engine=name,
+            )
+        if manager._graph_children.get(kappa, set()) != record.children:
+            raise corruption(
+                "engine",
+                "graph-mirror",
+                f"mirror children of {kappa} disagree with the engine",
+                kappas=(kappa,),
+                engine=name,
+            )
+
+    for handle in manager:
+        if m == 0:
+            expected: List[int] = []
+        else:
+            stab = max(1, m - handle.n + 1)
+            expected = sorted(
+                r.element.kappa for r in engine._intervals.stab(stab)
+            )
+        if sorted(handle._members) != expected:
+            raise corruption(
+                "engine",
+                "result-sync",
+                f"query {handle.query_id} (n={handle.n}) holds kappas "
+                f"{sorted(handle._members)}, the stabbing query gives "
+                f"{expected}",
+                engine=name,
+            )

@@ -10,12 +10,34 @@ data).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
 from repro.exceptions import StreamExhaustedError
 from repro.streams.generators import make_stream
 
 Point = Tuple[float, ...]
+
+
+class SupportsAppend(Protocol):
+    """Anything with an ``append(values)`` method — every engine."""
+
+    def append(self, values: Sequence[float]) -> Any: ...
+
+
+class SupportsAppendMany(SupportsAppend, Protocol):
+    """An engine that also offers the batched ``append_many`` path."""
+
+    def append_many(self, points: Sequence[Sequence[float]]) -> Any: ...
 
 
 class DataStream:
@@ -128,7 +150,11 @@ class DataStream:
                 return
 
 
-def feed(engine, stream: Iterable[Sequence[float]], limit: Optional[int] = None) -> int:
+def feed(
+    engine: SupportsAppend,
+    stream: Iterable[Sequence[float]],
+    limit: Optional[int] = None,
+) -> int:
     """Push up to ``limit`` points from ``stream`` into ``engine``
     (anything with an ``append(values)`` method); return how many were
     fed."""
@@ -142,7 +168,7 @@ def feed(engine, stream: Iterable[Sequence[float]], limit: Optional[int] = None)
 
 
 def feed_many(
-    engine,
+    engine: SupportsAppendMany,
     stream: Iterable[Sequence[float]],
     batch_size: int,
     limit: Optional[int] = None,

@@ -20,9 +20,14 @@ is deterministic, which keeps the engines reproducible under test.
 
 from __future__ import annotations
 
-from typing import Dict, Generic, Hashable, Iterator, List, Tuple, TypeVar
+from typing import Any, Dict, Generic, Hashable, Iterator, List, Tuple, TypeVar
 
-from repro.exceptions import DuplicateKeyError, EmptyStructureError, KeyNotFoundError
+from repro.exceptions import (
+    DuplicateKeyError,
+    EmptyStructureError,
+    KeyNotFoundError,
+    corruption,
+)
 
 K = TypeVar("K", bound=Hashable)
 
@@ -49,7 +54,7 @@ class IndexedHeap(Generic[K]):
     # Core operations
     # ------------------------------------------------------------------
 
-    def push(self, key: K, priority) -> None:
+    def push(self, key: K, priority: Any) -> None:
         """Insert ``key`` with ``priority``.
 
         Raises
@@ -101,7 +106,7 @@ class IndexedHeap(Generic[K]):
         self._remove_slot(slot)
         return True
 
-    def update_priority(self, key: K, priority) -> None:
+    def update_priority(self, key: K, priority: Any) -> None:
         """Change the priority of an existing ``key``."""
         slot = self._index.get(key)
         if slot is None:
@@ -112,7 +117,7 @@ class IndexedHeap(Generic[K]):
         if not self._sift_up(slot):
             self._sift_down(slot)
 
-    def priority_of(self, key: K):
+    def priority_of(self, key: K) -> Any:
         """Return the current priority of ``key``."""
         slot = self._index.get(key)
         if slot is None:
@@ -141,26 +146,44 @@ class IndexedHeap(Generic[K]):
         return [key for _, _, key in self._entries]
 
     def check_invariants(self) -> None:
-        """Verify the heap property and index consistency (for tests)."""
+        """Verify the heap property and index consistency.
+
+        Raises
+        ------
+        StructureCorruptionError
+            On the first violated property (survives ``python -O``).
+        """
         for slot in range(1, len(self._entries)):
             parent = (slot - 1) // 2
-            assert self._entries[parent][:2] <= self._entries[slot][:2], (
-                f"heap property violated at slot {slot}"
+            if not self._entries[parent][:2] <= self._entries[slot][:2]:
+                raise corruption(
+                    "heap",
+                    "heap-order",
+                    f"heap property violated at slot {slot}",
+                )
+        if len(self._index) != len(self._entries):
+            raise corruption(
+                "heap",
+                "heap-index",
+                f"index size {len(self._index)} != entry count "
+                f"{len(self._entries)}",
             )
-        assert len(self._index) == len(self._entries)
         for key, slot in self._index.items():
-            assert self._entries[slot][2] == key, f"stale index for {key!r}"
+            if self._entries[slot][2] != key:
+                raise corruption(
+                    "heap", "heap-index", f"stale index for {key!r}"
+                )
 
     # ------------------------------------------------------------------
     # Ordering hooks (overridden by the max variant)
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _order(priority):
+    def _order(priority: Any) -> Any:
         return priority
 
     @staticmethod
-    def _unorder(stored):
+    def _unorder(stored: Any) -> Any:
         return stored
 
     # ------------------------------------------------------------------
@@ -228,7 +251,7 @@ class _Reversed:
 
     __slots__ = ("value",)
 
-    def __init__(self, value) -> None:
+    def __init__(self, value: Any) -> None:
         self.value = value
 
     def __lt__(self, other: "_Reversed") -> bool:
@@ -248,11 +271,11 @@ class MaxIndexedHeap(IndexedHeap[K]):
     """An :class:`IndexedHeap` whose top entry has the *largest* priority."""
 
     @staticmethod
-    def _order(priority):
+    def _order(priority: Any) -> _Reversed:
         return _Reversed(priority)
 
     @staticmethod
-    def _unorder(stored):
+    def _unorder(stored: Any) -> Any:
         return stored.value
 
     def check_invariants(self) -> None:  # pragma: no cover - thin override

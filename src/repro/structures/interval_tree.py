@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Generic, Iterator, List, TypeVar
 
-from repro.exceptions import InvalidIntervalError
+from repro.exceptions import InvalidIntervalError, corruption
 from repro.structures.rbtree import NIL, RBNode, RedBlackTree
 
 D = TypeVar("D")
@@ -185,7 +185,13 @@ class IntervalTree(Generic[D]):
     # ------------------------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Assert red-black properties and max-high aggregates."""
+        """Verify red-black properties and max-high aggregates.
+
+        Raises
+        ------
+        StructureCorruptionError
+            On the first violated property (survives ``python -O``).
+        """
         self._tree.check_invariants()
         self._check_aggregate(self._tree.root)
 
@@ -197,8 +203,11 @@ class IntervalTree(Generic[D]):
             self._check_aggregate(node.left),
             self._check_aggregate(node.right),
         )
-        assert node.aggregate == expected, (
-            f"aggregate mismatch at {node.key!r}: "
-            f"{node.aggregate} != {expected}"
-        )
+        if node.aggregate != expected:
+            raise corruption(
+                "interval_tree",
+                "max-high-augmentation",
+                f"aggregate mismatch at {node.key!r}: "
+                f"{node.aggregate} != {expected}",
+            )
         return expected

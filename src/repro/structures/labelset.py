@@ -25,6 +25,7 @@ from repro.exceptions import (
     DuplicateKeyError,
     EmptyStructureError,
     KeyNotFoundError,
+    corruption,
 )
 
 P = TypeVar("P")
@@ -168,17 +169,47 @@ class LabelSet(Generic[P]):
     # ------------------------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Assert list/map consistency and strict ordering."""
+        """Verify list/map consistency and strict ordering.
+
+        Raises
+        ------
+        StructureCorruptionError
+            On the first violated property (survives ``python -O``).
+        """
         seen = 0
         node = self._head
-        prev = None
+        prev: Optional[_LabelNode[P]] = None
         while node is not None:
-            assert self._nodes.get(node.kappa) is node, "map/list mismatch"
+            if self._nodes.get(node.kappa) is not node:
+                raise corruption(
+                    "labelset",
+                    "labelset-links",
+                    f"map/list mismatch at label {node.kappa}",
+                )
             if prev is not None:
-                assert prev.kappa < node.kappa, "ordering violated"
-                assert node.prev is prev, "broken back-link"
+                if not prev.kappa < node.kappa:
+                    raise corruption(
+                        "labelset",
+                        "labelset-order",
+                        f"ordering violated: {prev.kappa} before {node.kappa}",
+                    )
+                if node.prev is not prev:
+                    raise corruption(
+                        "labelset",
+                        "labelset-links",
+                        f"broken back-link at label {node.kappa}",
+                    )
             seen += 1
             prev = node
             node = node.next
-        assert prev is self._tail or (prev is None and self._tail is None)
-        assert seen == len(self._nodes), "node count mismatch"
+        if not (prev is self._tail or (prev is None and self._tail is None)):
+            raise corruption(
+                "labelset", "labelset-links", "tail pointer out of date"
+            )
+        if seen != len(self._nodes):
+            raise corruption(
+                "labelset",
+                "labelset-links",
+                f"node count mismatch: walked {seen}, "
+                f"indexed {len(self._nodes)}",
+            )

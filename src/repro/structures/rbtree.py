@@ -22,7 +22,12 @@ from __future__ import annotations
 
 from typing import Callable, Generic, Iterator, List, Optional, Tuple, TypeVar
 
-from repro.exceptions import DuplicateKeyError, EmptyStructureError, KeyNotFoundError
+from repro.exceptions import (
+    DuplicateKeyError,
+    EmptyStructureError,
+    KeyNotFoundError,
+    corruption,
+)
 
 K = TypeVar("K")
 V = TypeVar("V")
@@ -60,6 +65,8 @@ class RBNode(Generic[K, V]):
 
 class _NilNode(RBNode):
     """The shared sentinel leaf: black, self-parented, key-less."""
+
+    __slots__ = ()
 
     def __init__(self) -> None:  # noqa: D401 - special construction
         # Bypass RBNode.__init__, which refers to NIL before it exists.
@@ -272,27 +279,58 @@ class RedBlackTree(Generic[K, V]):
     # ------------------------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Assert the red-black and BST properties over the whole tree."""
-        assert self._root.color is BLACK, "root must be black"
-        assert NIL.color is BLACK, "sentinel must stay black"
-        count = self._check_subtree(self._root, None, None)[1]
-        assert count == self._size, f"size mismatch: {count} != {self._size}"
+        """Verify the red-black and BST properties over the whole tree.
 
-    def _check_subtree(self, node, lo, hi) -> Tuple[int, int]:
+        Raises
+        ------
+        StructureCorruptionError
+            On the first violated property.  A real exception — not an
+            ``assert`` — so the check survives ``python -O``.
+        """
+        if self._root.color is not BLACK:
+            raise corruption("rbtree", "rbtree-color", "root must be black")
+        if NIL.color is not BLACK:
+            raise corruption(
+                "rbtree", "rbtree-color", "sentinel must stay black"
+            )
+        count = self._check_subtree(self._root, None, None)[1]
+        if count != self._size:
+            raise corruption(
+                "rbtree",
+                "rbtree-size",
+                f"size mismatch: counted {count}, recorded {self._size}",
+            )
+
+    def _check_subtree(
+        self, node: RBNode[K, V], lo: Optional[K], hi: Optional[K]
+    ) -> Tuple[int, int]:
         """Return (black height, node count) of ``node``'s subtree."""
         if node.is_nil():
             return 1, 0
-        if lo is not None:
-            assert node.key > lo, f"BST order violated at {node.key!r}"
-        if hi is not None:
-            assert node.key < hi, f"BST order violated at {node.key!r}"
-        if node.color is RED:
-            assert node.left.color is BLACK and node.right.color is BLACK, (
-                f"red node {node.key!r} has a red child"
+        if lo is not None and not node.key > lo:
+            raise corruption(
+                "rbtree", "rbtree-order", f"BST order violated at {node.key!r}"
+            )
+        if hi is not None and not node.key < hi:
+            raise corruption(
+                "rbtree", "rbtree-order", f"BST order violated at {node.key!r}"
+            )
+        if node.color is RED and (
+            node.left.color is not BLACK or node.right.color is not BLACK
+        ):
+            raise corruption(
+                "rbtree",
+                "rbtree-color",
+                f"red node {node.key!r} has a red child",
             )
         lh, lc = self._check_subtree(node.left, lo, node.key)
         rh, rc = self._check_subtree(node.right, node.key, hi)
-        assert lh == rh, f"black-height mismatch under {node.key!r}"
+        if lh != rh:
+            raise corruption(
+                "rbtree",
+                "rbtree-black-height",
+                f"black-height mismatch under {node.key!r}",
+            )
         return lh + (1 if node.color is BLACK else 0), lc + rc + 1
 
     # ------------------------------------------------------------------

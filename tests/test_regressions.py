@@ -189,3 +189,50 @@ class TestTimeWindowRTreeSplitForwarding:
     def test_invalid_split_is_rejected(self):
         with pytest.raises(ValueError):
             TimeWindowSkyline(dim=2, horizon=4.0, rtree_split="bogus")
+
+
+class TestTimeWindowQueryScanSemantics:
+    """``query_scan(n)`` inherited from the count-based engine treated
+    ``n`` as a *count* while the time-based engine's labels are
+    *timestamps* — the scan cut the window at ``M - n + 1`` elements
+    and silently answered the wrong question.  It must refuse, like
+    ``query(n)`` already did, and point at ``query_last``."""
+
+    def test_query_scan_refuses(self):
+        from repro.exceptions import InvalidWindowError
+
+        engine = TimeWindowSkyline(dim=2, horizon=10.0)
+        engine.append((0.5, 0.5), 1.0)
+        with pytest.raises(InvalidWindowError):
+            engine.query_scan(3)
+
+    def test_query_last_still_works(self):
+        engine = TimeWindowSkyline(dim=2, horizon=10.0)
+        engine.append((0.5, 0.5), 1.0)
+        assert [e.kappa for e in engine.query_last(5.0)] == [1]
+
+
+class TestNilNodeSlots:
+    """``_NilNode`` once lacked ``__slots__``, so every red-black tree
+    paid for a sentinel ``__dict__`` and — worse — attribute typos on
+    NIL were silently absorbed instead of raising."""
+
+    def test_nil_has_no_dict(self):
+        from repro.structures.rbtree import NIL
+
+        assert not hasattr(NIL, "__dict__")
+        with pytest.raises(AttributeError):
+            NIL.aggregte = 1.0  # typo'd attribute must not be absorbed
+
+
+class TestContinuousHandleSlots:
+    """:class:`ContinuousQueryHandle` is allocated per registered query
+    and mutated on every trigger; it now declares ``__slots__`` so a
+    manager with thousands of queries does not pay a dict per handle."""
+
+    def test_handle_has_no_dict(self):
+        from repro import ContinuousQueryManager, NofNSkyline
+
+        manager = ContinuousQueryManager(NofNSkyline(dim=2, capacity=8))
+        handle = manager.register(4)
+        assert not hasattr(handle, "__dict__")

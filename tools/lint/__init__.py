@@ -1,0 +1,42 @@
+"""Custom AST lint suite for the reproduction codebase.
+
+Run it as ``python -m tools.lint [paths...]`` (defaults to
+``src/repro``).  Exit status 0 means clean, 1 means findings, 2 means a
+file failed to parse.  See :mod:`tools.lint.rules` for the rule
+catalogue and the ``# lint: skip=REPRO00X`` waiver syntax.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, List
+
+from tools.lint.rules import RULES, Finding, check_source
+
+__all__ = ["Finding", "RULES", "check_source", "iter_python_files", "lint_paths"]
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files and directories into a sorted stream of ``.py`` paths."""
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d != "__pycache__" and not d.startswith(".")
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def lint_paths(paths: Iterable[str]) -> List[Finding]:
+    """Lint every Python file under ``paths``; returns all findings."""
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        with open(file_path, encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(check_source(file_path, source))
+    return findings
