@@ -1,0 +1,275 @@
+"""Committed benchmark snapshots for the query fast path.
+
+Produces two JSON files (default: the repository root):
+
+``BENCH_query.json``
+    n-of-N query latency with the versioned stab cache on vs off, per
+    dimensionality — *warm* (repeated stab points, answered from the
+    memo) and *cold* (distinct stab points, answered from the flat
+    snapshot) — with medians, p99s and speedup ratios.
+
+``BENCH_ingest.json``
+    Per-arrival maintenance latency with the R-tree leaf kernels on vs
+    off, on a full window.
+
+Each file holds up to two profiles: ``full`` (the committed reference,
+N = 100k) and ``quick`` (small, seconds-scale; what CI runs).  A run
+only replaces the profile it executed, so ``--quick`` refreshes the
+quick numbers without touching the committed full ones.
+
+``--check`` compares the freshly measured quick profile against the
+committed snapshot at the repository root and exits non-zero when a
+speedup ratio regressed by more than ``REGRESSION_TOLERANCE``.  Ratios
+are machine-portable; absolute latencies are compared only when the
+machine fingerprint matches the committed one.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_snapshot.py            # full + quick
+    PYTHONPATH=src python scripts/bench_snapshot.py --quick
+    PYTHONPATH=src python scripts/bench_snapshot.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.nofn import NofNSkyline  # noqa: E402
+from repro.streams import make_stream  # noqa: E402
+
+SCHEMA = 1
+DIMS = (2, 5)
+DISTRIBUTION = "anticorrelated"  # largest |R_N|: the hardest query load
+SEED = 7
+#: A quick-profile speedup may fall this far below the committed one
+#: before ``--check`` fails (ratio-of-ratios, so machine-portable).
+REGRESSION_TOLERANCE = 0.25
+
+PROFILES = {
+    "full": {"window": 100_000, "warm_points": 16, "warm_repeats": 64,
+             "cold_points": 2000, "ingest_ops": 2000},
+    "quick": {"window": 5_000, "warm_points": 8, "warm_repeats": 32,
+              "cold_points": 400, "ingest_ops": 400},
+}
+
+
+def machine_fingerprint() -> Dict[str, str]:
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = "absent"
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+    }
+
+
+def summarize(samples_ns: List[int]) -> Dict[str, float]:
+    ordered = sorted(samples_ns)
+    p99 = ordered[min(len(ordered) - 1, int(0.99 * (len(ordered) - 1)))]
+    return {
+        "median_us": round(statistics.median(ordered) / 1000.0, 3),
+        "p99_us": round(p99 / 1000.0, 3),
+    }
+
+
+def time_each(fn: Callable[[Any], Any], args: List[Any]) -> List[int]:
+    samples = []
+    for arg in args:
+        start = time.perf_counter_ns()
+        fn(arg)
+        samples.append(time.perf_counter_ns() - start)
+    return samples
+
+
+def build_engine(dim: int, window: int, kernels: str = "auto") -> NofNSkyline:
+    engine = NofNSkyline(dim=dim, capacity=window, kernels=kernels)
+    points = list(make_stream(DISTRIBUTION, dim, window, SEED))
+    for start in range(0, window, 1000):
+        engine.append_many(points[start:start + 1000])
+    return engine
+
+
+def bench_query_dim(dim: int, profile: Dict[str, int]) -> Dict[str, Any]:
+    window = profile["window"]
+    engine = build_engine(dim, window)
+
+    warm_ns = [
+        max(2, window * (i + 1) // (profile["warm_points"] + 1))
+        for i in range(profile["warm_points"])
+    ] * profile["warm_repeats"]
+    cold_ns = [
+        max(2, window * (i + 1) // (profile["cold_points"] + 1))
+        for i in range(profile["cold_points"])
+    ]
+
+    results: Dict[str, Any] = {"rn_size": engine.rn_size}
+    for label, workload, warmup in (
+        ("warm", warm_ns, warm_ns[: profile["warm_points"]]),
+        ("cold", cold_ns, cold_ns[:1]),
+    ):
+        cache = engine._stab_cache
+        time_each(engine.query, warmup)  # snapshot (and memo) priming
+        cached = time_each(engine.query, workload)
+        engine._stab_cache = None  # identical workload through the tree
+        try:
+            uncached = time_each(engine.query, workload)
+        finally:
+            engine._stab_cache = cache
+        entry = {
+            "cached": summarize(cached),
+            "uncached": summarize(uncached),
+        }
+        entry["speedup"] = round(
+            entry["uncached"]["median_us"]
+            / max(entry["cached"]["median_us"], 1e-9),
+            2,
+        )
+        results[label] = entry
+    return results
+
+
+def bench_ingest_dim(dim: int, profile: Dict[str, int]) -> Dict[str, Any]:
+    window = profile["window"]
+    extra = list(
+        make_stream(DISTRIBUTION, dim, profile["ingest_ops"], SEED + 1)
+    )
+    results: Dict[str, Any] = {}
+    for policy in ("auto", "off"):
+        engine = build_engine(dim, window, kernels=policy)
+        samples = time_each(engine.append, extra)
+        results["kernels_" + policy] = summarize(samples)
+    results["speedup"] = round(
+        results["kernels_off"]["median_us"]
+        / max(results["kernels_auto"]["median_us"], 1e-9),
+        2,
+    )
+    return results
+
+
+def run_profile(name: str, kind: str) -> Dict[str, Any]:
+    profile = PROFILES[name]
+    bench = bench_query_dim if kind == "query" else bench_ingest_dim
+    results = {}
+    for dim in DIMS:
+        print(f"[{kind}/{name}] d={dim} N={profile['window']} ...",
+              file=sys.stderr)
+        results[f"d{dim}"] = bench(dim, profile)
+    return {
+        "config": dict(profile, distribution=DISTRIBUTION, seed=SEED),
+        "machine": machine_fingerprint(),
+        "results": results,
+    }
+
+
+def merge_snapshot(path: Path, kind: str,
+                   profiles: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
+    snapshot: Dict[str, Any] = {"schema": SCHEMA, "kind": kind, "profiles": {}}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            if existing.get("schema") == SCHEMA and existing.get("kind") == kind:
+                snapshot["profiles"].update(existing.get("profiles", {}))
+        except (ValueError, OSError):
+            pass  # unreadable snapshot: rewrite from scratch
+    snapshot["profiles"].update(profiles)
+    return snapshot
+
+
+def check_regression(fresh: Dict[str, Any], committed_path: Path,
+                     kind: str) -> List[str]:
+    """Speedup-ratio regressions of the fresh quick profile vs the
+    committed snapshot; absolute latencies only on the same machine."""
+    if not committed_path.exists():
+        return [f"{committed_path.name}: no committed snapshot to check against"]
+    committed = json.loads(committed_path.read_text())
+    baseline = committed.get("profiles", {}).get("quick")
+    if baseline is None:
+        return [f"{committed_path.name}: committed snapshot has no quick profile"]
+    failures = []
+    same_machine = baseline.get("machine") == fresh.get("machine")
+    for dim_key, fresh_dim in fresh["results"].items():
+        base_dim = baseline["results"].get(dim_key)
+        if base_dim is None:
+            continue
+        labels = ("warm", "cold") if kind == "query" else (None,)
+        for label in labels:
+            fresh_entry = fresh_dim[label] if label else fresh_dim
+            base_entry = base_dim[label] if label else base_dim
+            where = f"{kind}/{dim_key}" + (f"/{label}" if label else "")
+            floor = base_entry["speedup"] * (1 - REGRESSION_TOLERANCE)
+            if fresh_entry["speedup"] < floor:
+                failures.append(
+                    f"{where}: speedup {fresh_entry['speedup']} fell below "
+                    f"{floor:.2f} (committed {base_entry['speedup']})"
+                )
+            if same_machine and kind == "query":
+                cached = fresh_entry["cached"]["median_us"]
+                ceiling = base_entry["cached"]["median_us"] * (
+                    1 + REGRESSION_TOLERANCE
+                )
+                if cached > ceiling:
+                    failures.append(
+                        f"{where}: cached median {cached}us exceeds "
+                        f"{ceiling:.2f}us (same machine as committed)"
+                    )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="run only the quick profile (CI smoke)")
+    parser.add_argument("--out", type=Path, default=REPO_ROOT,
+                        help="directory for the BENCH_*.json files "
+                             "(default: repository root)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare the quick profile against the "
+                             "committed snapshots; non-zero exit on "
+                             "regression")
+    args = parser.parse_args(argv)
+
+    profile_names = ["quick"] if args.quick else ["full", "quick"]
+    args.out.mkdir(parents=True, exist_ok=True)
+    failures: List[str] = []
+    for kind, filename in (("query", "BENCH_query.json"),
+                           ("ingest", "BENCH_ingest.json")):
+        profiles = {name: run_profile(name, kind) for name in profile_names}
+        snapshot = merge_snapshot(args.out / filename, kind, profiles)
+        (args.out / filename).write_text(json.dumps(snapshot, indent=2) + "\n")
+        print(f"wrote {args.out / filename}", file=sys.stderr)
+        if args.check:
+            failures += check_regression(
+                profiles["quick"], REPO_ROOT / filename, kind
+            )
+
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    for kind, filename in (("query", "BENCH_query.json"),):
+        snapshot = json.loads((args.out / filename).read_text())
+        for name, profile in snapshot["profiles"].items():
+            for dim_key, entry in profile["results"].items():
+                print(
+                    f"{kind}/{name}/{dim_key}: warm x{entry['warm']['speedup']}"
+                    f" cold x{entry['cold']['speedup']}"
+                    f" (|R_N|={entry['rn_size']})"
+                )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,15 +6,38 @@ point sets (e.g. seeding a window from history) and already have NumPy
 around, plus the intra-batch dominance prefilter behind the engines'
 ``append_many`` fast path.
 
+It also hosts the query fast path: the versioned stab cache
+(:mod:`repro.accel.stab_cache`) that memoizes interval-tree stabbing
+queries between structural changes, and the R-tree leaf kernels
+(:mod:`repro.accel.rtree_kernels`) that vectorise the per-leaf
+dominance tests inside the maintenance searches.
+
 Importing the package never requires NumPy: the static-skyline helpers
 are only exported when NumPy is importable, and
-:mod:`repro.accel.batch_prefilter` falls back to a pure-Python
-implementation (slower, identical results) without it.
+:mod:`repro.accel.batch_prefilter`, :mod:`repro.accel.stab_cache` and
+:mod:`repro.accel.rtree_kernels` fall back to pure-Python
+implementations (slower, identical results) without it.
 """
 
 from repro.accel.batch_prefilter import BatchPrefilter, intra_batch_survivors
+from repro.accel.rtree_kernels import (
+    HAVE_NUMPY,
+    KERNEL_POLICIES,
+    LeafKernel,
+    resolve_kernel_policy,
+)
+from repro.accel.stab_cache import DEFAULT_MAX_MEMO, StabCache
 
-__all__ = ["BatchPrefilter", "intra_batch_survivors"]
+__all__ = [
+    "BatchPrefilter",
+    "intra_batch_survivors",
+    "HAVE_NUMPY",
+    "KERNEL_POLICIES",
+    "LeafKernel",
+    "resolve_kernel_policy",
+    "DEFAULT_MAX_MEMO",
+    "StabCache",
+]
 
 try:
     from repro.accel.numpy_skyline import numpy_skyline, pareto_mask

@@ -37,6 +37,7 @@ from repro.baselines import (
     naive_skyline,
     sfs_skyline,
 )
+from repro.accel.rtree_kernels import KERNEL_POLICIES
 from repro.bench.reporting import format_percent, format_rate
 from repro.core.nofn import NofNSkyline
 from repro.core.skyband import KSkybandEngine
@@ -96,6 +97,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "structural theorems after every arrival (full), "
                           "every 64th maintenance event (sampled), or not "
                           "at all (off, the default)")
+    win.add_argument("--query-cache", default="on", choices=("on", "off"),
+                     help="versioned stab cache for queries: memoize stab "
+                          "results until the interval tree changes "
+                          "(default on)")
+    win.add_argument("--kernels", default="auto", choices=list(KERNEL_POLICIES),
+                     help="NumPy leaf kernels for the R-tree's dominance "
+                          "searches: auto uses them when NumPy is "
+                          "importable, off forces the pure-Python paths "
+                          "(default auto)")
 
     sub.add_parser("info", help="version and capability summary")
     return parser
@@ -152,16 +162,23 @@ def _cmd_window(args: argparse.Namespace, out: TextIO) -> int:
     points = _read_points(args.input)
     if not points:
         return 0
+    query_cache = args.query_cache == "on"
     if args.band > 1:
         engine: Union[KSkybandEngine, NofNSkyline] = KSkybandEngine(
             dim=len(points[0]),
             capacity=args.capacity,
             k=args.band,
             sanitize=args.sanitize,
+            query_cache=query_cache,
+            kernels=args.kernels,
         )
     else:
         engine = NofNSkyline(
-            dim=len(points[0]), capacity=args.capacity, sanitize=args.sanitize
+            dim=len(points[0]),
+            capacity=args.capacity,
+            sanitize=args.sanitize,
+            query_cache=query_cache,
+            kernels=args.kernels,
         )
     if args.batch:
         # Batches are clipped at --every boundaries so the reports land

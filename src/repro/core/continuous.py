@@ -21,6 +21,11 @@ The manager consumes the :class:`~repro.core.events.ArrivalOutcome`
 emitted by :meth:`NofNSkyline.append`; this realises the paper's
 "linking an element to the continuous queries which are using it".
 
+Registration seeds each query's result set through
+:meth:`NofNSkyline.query`, so it answers from the engine's versioned
+stab cache when that is enabled — registering many queries between
+arrivals costs one snapshot rebuild, not one tree walk per query.
+
 Usage::
 
     engine = NofNSkyline(dim=2, capacity=1000)

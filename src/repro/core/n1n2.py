@@ -39,6 +39,7 @@ from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.accel.batch_prefilter import BatchPrefilter, CHUNK, iter_chunks
+from repro.accel.stab_cache import StabCache
 from repro.core.element import StreamElement
 from repro.core.stats import EngineStats
 from repro.exceptions import (
@@ -87,6 +88,12 @@ class N1N2Skyline:
         Runtime invariant checking: ``"off"`` (default), ``"sampled"``,
         ``"full"``, or a shared
         :class:`~repro.sanitize.InvariantSanitizer`.
+    query_cache / kernels:
+        Query fast-path knobs (see
+        :class:`~repro.core.nofn.NofNSkyline`).  Each interval tree
+        (``I_RN`` and ``I_RN-``) gets its own versioned stab cache; the
+        cached answers are the *raw* stab lists, post-filtered per query
+        on the Theorem-4 bounds exactly as the uncached path does.
 
     Notes
     -----
@@ -103,6 +110,8 @@ class N1N2Skyline:
         rtree_min_entries: int = 4,
         rtree_split: str = "quadratic",
         sanitize: SanitizeArg = "off",
+        query_cache: bool = True,
+        kernels: str = "auto",
     ) -> None:
         if capacity < 1:
             raise InvalidWindowError(f"capacity must be >= 1, got {capacity}")
@@ -120,6 +129,14 @@ class N1N2Skyline:
             max_entries=rtree_max_entries,
             min_entries=rtree_min_entries,
             split=rtree_split,
+            kernels=kernels,
+        )
+        self._kernel_policy = kernels
+        self._live_cache: Optional[StabCache[_WindowRecord]] = (
+            StabCache(self._live) if query_cache else None
+        )
+        self._superseded_cache: Optional[StabCache[_WindowRecord]] = (
+            StabCache(self._superseded) if query_cache else None
         )
         self.stats = EngineStats()
 
@@ -366,7 +383,12 @@ class N1N2Skyline:
         stab = max(1, self._m - n2 + 1)
 
         results: List[StreamElement] = []
-        for record in self._live.stab(stab):
+        live = (
+            self._live_cache.stab(stab)
+            if self._live_cache is not None
+            else self._live.stab(stab)
+        )
+        for record in live:
             # Live elements have b = infinity; only the upper bound on
             # kappa(e) needs checking.
             if record.element.kappa <= upper:
@@ -374,7 +396,12 @@ class N1N2Skyline:
         if n1 > 1:
             # Superseded elements have finite b <= M; they can only
             # qualify when the slice ends strictly before the present.
-            for record in self._superseded.stab(stab):
+            superseded = (
+                self._superseded_cache.stab(stab)
+                if self._superseded_cache is not None
+                else self._superseded.stab(stab)
+            )
+            for record in superseded:
                 if record.element.kappa <= upper < record.b_kappa:
                     results.append(record.element)
         results.sort(key=lambda e: e.kappa)
@@ -444,6 +471,27 @@ class N1N2Skyline:
     def sanitize_mode(self) -> str:
         """The active sanitize mode (``"off"`` when none is attached)."""
         return "off" if self._sanitizer is None else self._sanitizer.mode
+
+    @property
+    def structure_version(self) -> int:
+        """Monotonic version of the interval encoding: the sum of both
+        trees' versions (every demotion, expiry or arrival bumps it)."""
+        return self._live.version + self._superseded.version
+
+    @property
+    def kernel_policy(self) -> str:
+        """The ``kernels`` knob this engine was built with."""
+        return self._kernel_policy
+
+    def cache_stats(self) -> Optional[Dict[str, int]]:
+        """Combined hit/miss/rebuild counters of the two stab caches
+        (``None`` when caching is disabled)."""
+        if self._live_cache is None or self._superseded_cache is None:
+            return None
+        merged = dict(self._live_cache.stats())
+        for key, value in self._superseded_cache.stats().items():
+            merged[key] += value
+        return merged
 
 
 class ContinuousN1N2Query:

@@ -37,6 +37,7 @@ from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Set
 
 from repro.accel.batch_prefilter import BatchPrefilter, CHUNK, iter_chunks
+from repro.accel.stab_cache import StabCache
 from repro.core.element import StreamElement
 from repro.core.events import ArrivalOutcome, BatchOutcome, ExpiredRecord
 from repro.core.stats import EngineStats
@@ -69,6 +70,11 @@ class _Record:
         self.entry = None
 
 
+def _record_kappa(record: _Record) -> int:
+    """Query-order sort key (module-level so the cache can share it)."""
+    return record.element.kappa
+
+
 class NofNSkyline:
     """Sliding-window engine answering all n-of-N skyline queries.
 
@@ -85,6 +91,16 @@ class NofNSkyline:
         ``"full"``, or a ready-made
         :class:`~repro.sanitize.InvariantSanitizer` to share between
         engines.  See :mod:`repro.sanitize`.
+    query_cache:
+        When true (the default), :meth:`query` answers through a
+        :class:`~repro.accel.stab_cache.StabCache` — a versioned flat
+        snapshot of the interval set with per-stab-point memoization —
+        instead of stabbing the red-black tree per call.  Invalidation
+        is exact (every structural write bumps the tree version), so
+        answers are always identical to the uncached path.
+    kernels:
+        Vectorised R-tree leaf-search policy (``"auto"``/``"on"``/
+        ``"off"``), forwarded to :class:`~repro.structures.rtree.RTree`.
 
     Notes
     -----
@@ -102,6 +118,8 @@ class NofNSkyline:
         rtree_min_entries: int = 4,
         rtree_split: str = "quadratic",
         sanitize: SanitizeArg = "off",
+        query_cache: bool = True,
+        kernels: str = "auto",
     ) -> None:
         if capacity < 1:
             raise InvalidWindowError(f"capacity must be >= 1, got {capacity}")
@@ -119,6 +137,15 @@ class NofNSkyline:
             max_entries=rtree_max_entries,
             min_entries=rtree_min_entries,
             split=rtree_split,
+            kernels=kernels,
+        )
+        self._kernel_policy = kernels
+        # Memoized answers come back pre-sorted in query order, so the
+        # cached query path never re-sorts.
+        self._stab_cache: Optional[StabCache[_Record]] = (
+            StabCache(self._intervals, sort_key=_record_kappa)
+            if query_cache
+            else None
         )
         self.stats = EngineStats()
 
@@ -508,8 +535,11 @@ class NofNSkyline:
         if stab is None:
             self.stats.record_query(0)
             return []
-        records = self._intervals.stab(stab)
-        records.sort(key=lambda r: r.element.kappa)
+        if self._stab_cache is not None:
+            records = self._stab_cache.stab(stab)  # pre-sorted by kappa
+        else:
+            records = self._intervals.stab(stab)
+            records.sort(key=_record_kappa)
         self.stats.record_query(len(records))
         return [r.element for r in records]
 
@@ -578,6 +608,30 @@ class NofNSkyline:
     def sanitize_mode(self) -> str:
         """The active sanitize mode (``"off"`` when none is attached)."""
         return "off" if self._sanitizer is None else self._sanitizer.mode
+
+    @property
+    def structure_version(self) -> int:
+        """Monotonic version of the interval encoding; bumps on every
+        arrival, expiry, dominance ejection and re-rooting (anything
+        that can change a query answer)."""
+        return self._intervals.version
+
+    @property
+    def stab_cache(self) -> Optional[StabCache[_Record]]:
+        """The query cache, or ``None`` when ``query_cache=False``."""
+        return self._stab_cache
+
+    @property
+    def kernel_policy(self) -> str:
+        """The ``kernels`` knob this engine was built with."""
+        return self._kernel_policy
+
+    def cache_stats(self) -> Optional[Dict[str, int]]:
+        """Hit/miss/rebuild counters of the query cache (``None`` when
+        caching is disabled)."""
+        if self._stab_cache is None:
+            return None
+        return self._stab_cache.stats()
 
     def non_redundant(self) -> List[StreamElement]:
         """The elements of ``R_N``, oldest first."""

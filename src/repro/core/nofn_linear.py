@@ -117,8 +117,12 @@ class LinearScanNofNSkyline(NofNSkyline):
         dim: int,
         capacity: int,
         sanitize: SanitizeArg = "off",
+        query_cache: bool = True,
         **_ignored: object,
     ) -> None:
-        super().__init__(dim, capacity, sanitize=sanitize)
+        # The stab cache lives on the interval tree, so it applies to
+        # this variant unchanged; R-tree tuning (including the leaf
+        # kernels) does not, and is absorbed by ``_ignored``.
+        super().__init__(dim, capacity, sanitize=sanitize, query_cache=query_cache)
         # Swap the spatial index for the flat scan structure.
         self._rtree = _ScanIndex(dim)  # type: ignore[assignment]

@@ -76,6 +76,7 @@ def _snapshot_nofn(engine: NofNSkyline) -> Dict[str, Any]:
         "records": records,
         "stats": engine.stats.snapshot_raw(),
         "rtree": _rtree_config(engine),
+        "query": _query_config(engine),
         "sanitize": engine.sanitize_mode,
     }
     if isinstance(engine, TimeWindowSkyline):
@@ -94,6 +95,21 @@ def _rtree_config(engine: Union[NofNSkyline, N1N2Skyline]) -> Dict[str, Any]:
         "max_entries": int(getattr(index, "max_entries", 12)),
         "min_entries": int(getattr(index, "min_entries", 4)),
         "split": str(getattr(index, "split_policy", "quadratic")),
+    }
+
+
+def _query_config(engine: Union[NofNSkyline, N1N2Skyline]) -> Dict[str, Any]:
+    """The engine's query fast-path knobs, so :func:`restore` rebuilds
+    with the caching/kernel choices the operator made.  The kernel
+    policy is read off the spatial index; engines whose index is not an
+    R-tree (the linear-scan ablation) report the default."""
+    if isinstance(engine, N1N2Skyline):
+        cache = engine._live_cache is not None
+    else:
+        cache = engine._stab_cache is not None
+    return {
+        "cache": cache,
+        "kernels": str(getattr(engine._rtree, "kernel_policy", "auto")),
     }
 
 
@@ -120,6 +136,7 @@ def _snapshot_n1n2(engine: N1N2Skyline) -> Dict[str, Any]:
         "records": records,
         "stats": engine.stats.snapshot_raw(),
         "rtree": _rtree_config(engine),
+        "query": _query_config(engine),
         "sanitize": engine.sanitize_mode,
     }
 
@@ -154,6 +171,7 @@ def restore(
                 snap["capacity"],
                 sanitize=sanitize,
                 **_rtree_kwargs(snap),
+                **_query_kwargs(snap),
             ),
         )
     if kind == "timewindow":
@@ -162,6 +180,7 @@ def restore(
             snap["horizon"],
             sanitize=sanitize,
             **_rtree_kwargs(snap),
+            **_query_kwargs(snap),
         )
         engine._now = float(snap["now"])
         return _restore_nofn(snap, engine)
@@ -182,6 +201,20 @@ def _rtree_kwargs(snap: Dict[str, Any]) -> Dict[str, Any]:
         "rtree_max_entries": int(raw.get("max_entries", 12)),
         "rtree_min_entries": int(raw.get("min_entries", 4)),
         "rtree_split": str(raw.get("split", "quadratic")),
+    }
+
+
+def _query_kwargs(snap: Dict[str, Any]) -> Dict[str, Any]:
+    """Query fast-path kwargs from a snapshot.
+
+    Snapshots written before the knobs were recorded lack the "query"
+    key; they restore with the defaults (cache on, kernels auto).
+    """
+    raw = snap.get("query", {})
+    _require(isinstance(raw, dict), '"query" must be a dict when present')
+    return {
+        "query_cache": bool(raw.get("cache", True)),
+        "kernels": str(raw.get("kernels", "auto")),
     }
 
 
@@ -228,6 +261,7 @@ def _restore_n1n2(
         snap["capacity"],
         sanitize=sanitize,
         **_rtree_kwargs(snap),
+        **_query_kwargs(snap),
     )
     engine._m = int(snap["seen_so_far"])
     by_kappa: Dict[int, _WindowRecord] = {}

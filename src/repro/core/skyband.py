@@ -48,6 +48,7 @@ from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.accel.batch_prefilter import BatchPrefilter, CHUNK, iter_chunks
+from repro.accel.stab_cache import StabCache
 from repro.core.element import StreamElement
 from repro.core.stats import EngineStats
 from repro.exceptions import (
@@ -76,6 +77,11 @@ class _BandRecord:
         self.handle: Optional[IntervalHandle] = None
 
 
+def _band_record_kappa(record: _BandRecord) -> int:
+    """Query-order sort key (module-level so the cache can share it)."""
+    return record.element.kappa
+
+
 class KSkybandEngine:
     """Sliding-window engine answering all n-of-N k-skyband queries.
 
@@ -92,6 +98,11 @@ class KSkybandEngine:
         Runtime invariant checking: ``"off"`` (default), ``"sampled"``,
         ``"full"``, or a shared
         :class:`~repro.sanitize.InvariantSanitizer`.
+    query_cache / kernels:
+        Query fast-path knobs (see
+        :class:`~repro.core.nofn.NofNSkyline`): the versioned stab
+        cache behind :meth:`query`, and the vectorised R-tree
+        leaf-search policy.
     """
 
     def __init__(
@@ -103,6 +114,8 @@ class KSkybandEngine:
         rtree_min_entries: int = 4,
         rtree_split: str = "quadratic",
         sanitize: SanitizeArg = "off",
+        query_cache: bool = True,
+        kernels: str = "auto",
     ) -> None:
         if capacity < 1:
             raise InvalidWindowError(f"capacity must be >= 1, got {capacity}")
@@ -123,6 +136,15 @@ class KSkybandEngine:
             max_entries=rtree_max_entries,
             min_entries=rtree_min_entries,
             split=rtree_split,
+            kernels=kernels,
+        )
+        self._kernel_policy = kernels
+        # Memoized answers come back pre-sorted in query order, so the
+        # cached query path never re-sorts.
+        self._stab_cache: Optional[StabCache[_BandRecord]] = (
+            StabCache(self._intervals, sort_key=_band_record_kappa)
+            if query_cache
+            else None
         )
         self.stats = EngineStats()
 
@@ -415,8 +437,11 @@ class KSkybandEngine:
             self.stats.record_query(0)
             return []
         stab = max(1, self._m - n + 1)
-        records = self._intervals.stab(stab)
-        records.sort(key=lambda r: r.element.kappa)
+        if self._stab_cache is not None:
+            records = self._stab_cache.stab(stab)  # pre-sorted by kappa
+        else:
+            records = self._intervals.stab(stab)
+            records.sort(key=_band_record_kappa)
         self.stats.record_query(len(records))
         return [r.element for r in records]
 
@@ -467,3 +492,26 @@ class KSkybandEngine:
     def sanitize_mode(self) -> str:
         """The active sanitize mode (``"off"`` when none is attached)."""
         return "off" if self._sanitizer is None else self._sanitizer.mode
+
+    @property
+    def structure_version(self) -> int:
+        """Monotonic version of the interval encoding (see
+        :attr:`repro.core.nofn.NofNSkyline.structure_version`)."""
+        return self._intervals.version
+
+    @property
+    def stab_cache(self) -> Optional[StabCache[_BandRecord]]:
+        """The query cache, or ``None`` when ``query_cache=False``."""
+        return self._stab_cache
+
+    @property
+    def kernel_policy(self) -> str:
+        """The ``kernels`` knob this engine was built with."""
+        return self._kernel_policy
+
+    def cache_stats(self) -> Optional[Dict[str, int]]:
+        """Hit/miss/rebuild counters of the query cache (``None`` when
+        caching is disabled)."""
+        if self._stab_cache is None:
+            return None
+        return self._stab_cache.stats()

@@ -45,6 +45,10 @@ class TimeWindowSkyline(NofNSkyline):
     sanitize:
         Runtime invariant checking, forwarded verbatim (see
         :mod:`repro.sanitize`).
+    query_cache / kernels:
+        Query fast-path knobs, forwarded verbatim (see
+        :class:`~repro.core.nofn.NofNSkyline`); :meth:`query_last`
+        answers through the versioned stab cache when enabled.
     """
 
     def __init__(
@@ -55,6 +59,8 @@ class TimeWindowSkyline(NofNSkyline):
         rtree_min_entries: int = 4,
         rtree_split: str = "quadratic",
         sanitize: SanitizeArg = "off",
+        query_cache: bool = True,
+        kernels: str = "auto",
     ) -> None:
         if horizon <= 0:
             raise InvalidWindowError(f"horizon must be positive, got {horizon}")
@@ -66,6 +72,8 @@ class TimeWindowSkyline(NofNSkyline):
             rtree_min_entries=rtree_min_entries,
             rtree_split=rtree_split,
             sanitize=sanitize,
+            query_cache=query_cache,
+            kernels=kernels,
         )
         self.horizon = float(horizon)
         self._now = 0.0
@@ -181,8 +189,11 @@ class TimeWindowSkyline(NofNSkyline):
             # point at or below the oldest live label reports exactly
             # the dominance-graph roots.
             stab = self._labels.oldest()[0]
-        records = self._intervals.stab(stab)
-        records.sort(key=lambda r: r.element.kappa)
+        if self._stab_cache is not None:
+            records = self._stab_cache.stab(stab)  # pre-sorted by kappa
+        else:
+            records = self._intervals.stab(stab)
+            records.sort(key=lambda r: r.element.kappa)
         self.stats.record_query(len(records))
         return [r.element for r in records]
 

@@ -31,11 +31,15 @@ The invariant catalogue (the ``invariant`` field of the report):
 ``graph-mirror``    the manager's dominance-forest mirror matches the
                     engine's graph (checked only when in sync)
 ``result-sync``     a continuous result equals the stabbing answer
+``stab-cache``      the versioned query cache's answer at each tested
+                    stab point equals a fresh stab of the live interval
+                    tree (checked whenever a cache is attached)
 ================== ====================================================
 
 plus the structure-level invariants raised by the structures themselves
 (``rbtree-*``, ``max-high-augmentation``, ``labelset-*``, ``heap-*``,
-``rtree-*``).
+``rtree-*`` — including ``rtree-kernel-cache``, a cached leaf kernel
+that no longer mirrors its leaf's children).
 
 Import discipline
 -----------------
@@ -86,6 +90,25 @@ def _brute_skyline(elements: Sequence[StreamElement]) -> List[int]:
         for e in elements
         if not any(_beats(f, e) for f in elements if f is not e)
     )
+
+
+def _check_stab_cache_at(
+    cache: object, stab: float, expected: List[int], name: str
+) -> None:
+    """Compare a :class:`~repro.accel.stab_cache.StabCache` answer at
+    ``stab`` against ``expected`` kappas from the live interval tree
+    (``cache`` may be ``None`` when caching is disabled)."""
+    if cache is None:
+        return
+    cached = sorted(r.element.kappa for r in cache.stab(stab))  # type: ignore[attr-defined]
+    if cached != expected:
+        raise corruption(
+            "engine",
+            "stab-cache",
+            f"query cache stab at {stab} reported kappas {cached}, the "
+            f"live interval tree gives {expected}",
+            engine=name,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -308,6 +331,7 @@ def _check_nofn_stabbing(engine: "NofNSkyline", name: str) -> None:
                 f"force over R_N gives {expected}",
                 engine=name,
             )
+        _check_stab_cache_at(engine._stab_cache, stab, got, name)
 
 
 def _check_timewindow_stabbing(
@@ -338,6 +362,7 @@ def _check_timewindow_stabbing(
                 f"kappas {got}, brute force over R_N gives {expected}",
                 engine=name,
             )
+        _check_stab_cache_at(engine._stab_cache, stab, got, name)
 
 
 # ----------------------------------------------------------------------
@@ -547,6 +572,18 @@ def _check_n1n2_stabbing(engine: "N1N2Skyline", name: str) -> None:
                 f"force over the slice gives {expected}",
                 engine=name,
             )
+        _check_stab_cache_at(
+            engine._live_cache,
+            stab,
+            sorted(r.element.kappa for r in engine._live.stab(stab)),
+            name,
+        )
+        _check_stab_cache_at(
+            engine._superseded_cache,
+            stab,
+            sorted(r.element.kappa for r in engine._superseded.stab(stab)),
+            name,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -665,6 +702,7 @@ def _check_skyband_stabbing(engine: "KSkybandEngine", name: str) -> None:
                 f"kappas {got}, brute force gives {expected}",
                 engine=name,
             )
+        _check_stab_cache_at(engine._stab_cache, stab, got, name)
 
 
 # ----------------------------------------------------------------------

@@ -94,6 +94,19 @@ class IntervalTree(Generic[D]):
     def __init__(self) -> None:
         self._tree: RedBlackTree = RedBlackTree(augment=_augment_max_high)
         self._seq = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing structure version.
+
+        Bumped by every :meth:`insert` and :meth:`remove` (and twice by
+        :meth:`replace`).  Two equal versions guarantee an identical
+        interval set, so read-path caches — notably
+        :class:`repro.accel.stab_cache.StabCache` — can validate a
+        memoized answer with a single integer comparison.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Updates
@@ -104,6 +117,7 @@ class IntervalTree(Generic[D]):
         interval = Interval(low, high, data)
         key = (low, high, self._seq)
         self._seq += 1
+        self._version += 1
         node = self._tree.insert(key, interval)
         return IntervalHandle(interval, node)
 
@@ -115,6 +129,7 @@ class IntervalTree(Generic[D]):
         """
         self._tree.delete_node(handle._node)
         handle._node = NIL
+        self._version += 1
 
     def replace(
         self, handle: IntervalHandle[D], low: float, high: float
@@ -141,20 +156,13 @@ class IntervalTree(Generic[D]):
         that need sorted results (the engines sort by ``kappa``) order
         the output themselves.
         """
-        out: List[D] = []
-        self._stab_node(self._tree.root, t, out)
-        return out
-
-    def stab_intervals(self, t: float) -> List[Interval[D]]:
-        """Like :meth:`stab` but returning the :class:`Interval` objects."""
-        out: List[Interval[D]] = []
-        self._stab_node(self._tree.root, t, out, whole=True)
-        return out
-
-    def _stab_node(self, node: RBNode, t: float, out: list, whole: bool = False) -> None:
         # Iterative DFS: recursion depth could hit Python's limit for
-        # large windows even on a balanced tree's worst paths.
-        stack = [node]
+        # large windows even on a balanced tree's worst paths.  This
+        # loop and the one in :meth:`stab_intervals` differ only in what
+        # they append; keeping two copies removes a per-node flag branch
+        # from the hot path.
+        out: List[D] = []
+        stack = [self._tree.root]
         while stack:
             current = stack.pop()
             if current is NIL or current.aggregate < t:
@@ -162,12 +170,29 @@ class IntervalTree(Generic[D]):
             interval: Interval[D] = current.value
             if interval.low < t:
                 if t <= interval.high:
-                    out.append(interval if whole else interval.data)
+                    out.append(interval.data)
                 # Right keys have low >= this low; they may still be < t.
                 stack.append(current.right)
             # Left subtree always has lows <= this low; worth visiting
             # whenever its max-high reaches t (checked on pop).
             stack.append(current.left)
+        return out
+
+    def stab_intervals(self, t: float) -> List[Interval[D]]:
+        """Like :meth:`stab` but returning the :class:`Interval` objects."""
+        out: List[Interval[D]] = []
+        stack = [self._tree.root]
+        while stack:
+            current = stack.pop()
+            if current is NIL or current.aggregate < t:
+                continue
+            interval: Interval[D] = current.value
+            if interval.low < t:
+                if t <= interval.high:
+                    out.append(interval)
+                stack.append(current.right)
+            stack.append(current.left)
+        return out
 
     def __len__(self) -> int:
         return len(self._tree)

@@ -34,6 +34,14 @@ from __future__ import annotations
 import heapq
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.accel.rtree_kernels import (
+    KERNEL_MIN_LEAF,
+    LeafKernel,
+    as_probe,
+    best_dominator_index,
+    dominated_indices,
+    resolve_kernel_policy,
+)
 from repro.exceptions import (
     DimensionMismatchError,
     DuplicateKeyError,
@@ -69,9 +77,15 @@ class _Node:
     Leaf nodes hold :class:`RTreeEntry` children; internal nodes hold
     child :class:`_Node` objects.  ``mbr`` and ``max_kappa`` summarise
     the whole subtree; both are ``None`` only for an empty root.
+
+    ``kernel`` lazily caches a :class:`LeafKernel` mirror of a leaf's
+    children for the vectorised search path.  Every structural change
+    funnels through :meth:`recompute` (or :meth:`adopt`), both of which
+    drop the cache, so a non-``None`` kernel always matches the child
+    list exactly.
     """
 
-    __slots__ = ("is_leaf", "children", "mbr", "max_kappa", "parent")
+    __slots__ = ("is_leaf", "children", "mbr", "max_kappa", "parent", "kernel")
 
     def __init__(self, is_leaf: bool) -> None:
         self.is_leaf = is_leaf
@@ -79,9 +93,11 @@ class _Node:
         self.mbr: Optional[MBR] = None
         self.max_kappa: int = -1
         self.parent: Optional["_Node"] = None
+        self.kernel: Optional[LeafKernel] = None
 
     def recompute(self) -> None:
         """Refresh ``mbr`` and ``max_kappa`` from the children."""
+        self.kernel = None
         if not self.children:
             self.mbr = None
             self.max_kappa = -1
@@ -100,6 +116,7 @@ class _Node:
         self.children.append(child)
         if self.is_leaf:
             child._leaf = self
+            self.kernel = None
         else:
             child.parent = self
 
@@ -113,6 +130,11 @@ class RTree:
         Dimensionality of stored points.
     max_entries / min_entries:
         Node capacity bounds; ``2 <= min_entries <= max_entries // 2``.
+    kernels:
+        Vectorised leaf-search policy: ``"auto"`` (use NumPy when
+        importable, the default), ``"on"`` (same, recorded intent) or
+        ``"off"`` (always use the pure-Python per-entry loops).  The
+        two paths return identical results (property-tested).
     """
 
     def __init__(
@@ -121,6 +143,7 @@ class RTree:
         max_entries: int = DEFAULT_MAX_ENTRIES,
         min_entries: int = DEFAULT_MIN_ENTRIES,
         split: str = "quadratic",
+        kernels: str = "auto",
     ) -> None:
         if dim < 1:
             raise ValueError(f"dimension must be positive, got {dim}")
@@ -137,6 +160,11 @@ class RTree:
         self.max_entries = max_entries
         self.min_entries = min_entries
         self.split_policy = split
+        self.kernel_policy = kernels
+        self._use_kernels = resolve_kernel_policy(kernels)
+        #: Nodes expanded by the most recent :meth:`report_dominated`
+        #: call (instrumentation for the pruning regression tests).
+        self.last_report_visits = 0
         self._root = _Node(is_leaf=True)
         self._entries: Dict[int, RTreeEntry] = {}
 
@@ -445,30 +473,62 @@ class RTree:
     # Dominance reporting (depth-first, Figure 7a / Figure 8)
     # ------------------------------------------------------------------
 
+    def _leaf_kernel(self, node: _Node) -> LeafKernel:
+        """The node's cached :class:`LeafKernel`, building it on demand."""
+        kernel = node.kernel
+        if kernel is None:
+            kernel = LeafKernel.from_entries(node.children)
+            node.kernel = kernel
+        return kernel
+
     def report_dominated(self, q: Sequence[float]) -> List[RTreeEntry]:
-        """Entries weakly dominated by ``q`` (non-destructive)."""
+        """Entries weakly dominated by ``q`` (non-destructive).
+
+        Subtrees are pruned *before* descending: a child is pushed only
+        when ``q`` falls inside its candidate region (Figure 7a), so a
+        node whose box merely overlaps elsewhere never costs a visit.
+        :attr:`last_report_visits` records the nodes expanded.
+        """
         if len(q) != self.dim:
             raise DimensionMismatchError(self.dim, len(q))
         out: List[RTreeEntry] = []
-        stack = [self._root]
+        visits = 0
+        probe = as_probe(q) if self._use_kernels else None
+        root = self._root
+        stack: List[_Node] = []
+        if root.mbr is not None and root.mbr.may_contain_dominated(q):
+            stack.append(root)
         while stack:
             node = stack.pop()
-            if node.mbr is None or not node.mbr.may_contain_dominated(q):
+            mbr = node.mbr
+            if mbr is None:
                 continue
-            if node.mbr.fully_dominated_by(q):
+            visits += 1
+            if mbr.fully_dominated_by(q):
                 self._collect_entries(node, out)
                 continue
             if node.is_leaf:
-                out.extend(
-                    entry
-                    for entry in node.children
-                    # Hot path: inlining the weak-dominance test here
-                    # (rather than calling core.dominance per entry)
-                    # measurably speeds up report_dominated.
-                    if all(a <= b for a, b in zip(q, entry.point))  # lint: skip=REPRO002
-                )
+                if probe is not None and len(node.children) >= KERNEL_MIN_LEAF:
+                    children = node.children
+                    out.extend(
+                        children[i]
+                        for i in dominated_indices(self._leaf_kernel(node), probe)
+                    )
+                else:
+                    out.extend(
+                        entry
+                        for entry in node.children
+                        # Hot path: inlining the weak-dominance test here
+                        # (rather than calling core.dominance per entry)
+                        # measurably speeds up report_dominated.
+                        if all(a <= b for a, b in zip(q, entry.point))  # lint: skip=REPRO002
+                    )
             else:
-                stack.extend(node.children)
+                for child in node.children:
+                    child_mbr = child.mbr
+                    if child_mbr is not None and child_mbr.may_contain_dominated(q):
+                        stack.append(child)
+        self.last_report_visits = visits
         return out
 
     def remove_dominated(self, q: Sequence[float]) -> List[RTreeEntry]:
@@ -483,7 +543,8 @@ class RTree:
             raise DimensionMismatchError(self.dim, len(q))
         removed: List[RTreeEntry] = []
         dirty: Set[int] = set()
-        self._dfs_remove(self._root, q, removed, dirty)
+        probe = as_probe(q) if self._use_kernels else None
+        self._dfs_remove(self._root, q, probe, removed, dirty)
         if not removed:
             return removed
         for entry in removed:
@@ -496,6 +557,7 @@ class RTree:
         self,
         node: _Node,
         q: Sequence[float],
+        probe: Any,
         removed: List[RTreeEntry],
         dirty: Set[int],
     ) -> bool:
@@ -503,6 +565,8 @@ class RTree:
 
         Nodes whose child list changed (and their ancestors) are added
         to ``dirty`` so the rebalance pass can skip untouched subtrees.
+        ``probe`` is the pre-converted kernel probe (``None`` when the
+        vectorised path is off).
         """
         if node.mbr is None or not node.mbr.may_contain_dominated(q):
             return False
@@ -514,15 +578,30 @@ class RTree:
             dirty.add(id(node))
             return True
         if node.is_leaf:
-            kept = []
-            for entry in node.children:
-                # Hot path: inlined weak-dominance test, as above.
-                if all(a <= b for a, b in zip(q, entry.point)):  # lint: skip=REPRO002
-                    removed.append(entry)
-                else:
-                    kept.append(entry)
-            if len(kept) == len(node.children):
-                return False
+            # Reuse a kernel a read-only search already built, but never
+            # build one here: a hit mutates the leaf and drops the cache
+            # immediately, so building would be pure overhead.
+            if probe is not None and node.kernel is not None:
+                hit = dominated_indices(node.kernel, probe)
+                if not hit:
+                    return False
+                hit_set = set(hit)
+                removed.extend(node.children[i] for i in hit)
+                kept = [
+                    entry
+                    for i, entry in enumerate(node.children)
+                    if i not in hit_set
+                ]
+            else:
+                kept = []
+                for entry in node.children:
+                    # Hot path: inlined weak-dominance test, as above.
+                    if all(a <= b for a, b in zip(q, entry.point)):  # lint: skip=REPRO002
+                        removed.append(entry)
+                    else:
+                        kept.append(entry)
+                if len(kept) == len(node.children):
+                    return False
             node.children = kept
             node.recompute()
             dirty.add(id(node))
@@ -530,7 +609,7 @@ class RTree:
         survivors = []
         changed = False
         for child in node.children:
-            emptied = self._dfs_remove(child, q, removed, dirty)
+            emptied = self._dfs_remove(child, q, probe, removed, dirty)
             if emptied:
                 child.parent = None
                 changed = True
@@ -607,6 +686,7 @@ class RTree:
         # ties so heapq never compares nodes/entries.
         heap: List[Tuple[int, int, Any]] = []
         counter = 0
+        probe = as_probe(q) if self._use_kernels else None
 
         def push(item: Any, priority: int) -> None:
             nonlocal counter
@@ -647,8 +727,20 @@ class RTree:
                 push(entry, entry.kappa)
                 continue
             if node.is_leaf:
-                for entry in node.children:
-                    push(entry, entry.kappa)
+                if probe is not None and len(node.children) >= KERNEL_MIN_LEAF:
+                    # One vectorised pass finds the leaf's best eligible
+                    # dominator; any other dominating child has a smaller
+                    # kappa and could never outrank it on the frontier,
+                    # so a single push per leaf suffices.
+                    best = best_dominator_index(
+                        self._leaf_kernel(node), probe, kappa_below
+                    )
+                    if best >= 0:
+                        leaf_entry = node.children[best]
+                        push(leaf_entry, leaf_entry.kappa)
+                else:
+                    for entry in node.children:
+                        push(entry, entry.kappa)
             else:
                 for child in node.children:
                     push(child, child.max_kappa)
@@ -770,6 +862,19 @@ class RTree:
                             f"entry kappa={entry.kappa} does not point back "
                             f"at its leaf",
                             kappas=(entry.kappa,),
+                        )
+                kernel = node.kernel
+                if kernel is not None:
+                    points = [tuple(p) for p in kernel.points.tolist()]
+                    kappas = kernel.kappas.tolist()
+                    if points != [e.point for e in node.children] or (
+                        kappas != [e.kappa for e in node.children]
+                    ):
+                        raise corruption(
+                            "rtree",
+                            "rtree-kernel-cache",
+                            "cached leaf kernel does not mirror the "
+                            "leaf's children",
                         )
             elif not (is_root and node.mbr is None):
                 raise corruption(

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import math
 import random
+import sys
 
 import pytest
 from hypothesis import given, settings
@@ -115,6 +116,75 @@ class TestUpdates:
             handles.append(tree.insert(lo, hi, step))
         # The tree only grew here; now remove all and re-check.
         tree.check_invariants()
+
+
+class TestVersioning:
+    def test_insert_and_remove_each_bump(self):
+        tree = IntervalTree()
+        v0 = tree.version
+        h = tree.insert(0, 5, "a")
+        assert tree.version == v0 + 1
+        tree.insert(1, 6, "b")
+        assert tree.version == v0 + 2
+        tree.remove(h)
+        assert tree.version == v0 + 3
+
+    def test_replace_bumps_twice(self):
+        tree = IntervalTree()
+        h = tree.insert(4, 9, "child")
+        v = tree.version
+        tree.replace(h, 0, 9)
+        assert tree.version == v + 2
+
+    def test_reads_do_not_bump(self):
+        tree = IntervalTree()
+        tree.insert(0, 5, "a")
+        v = tree.version
+        tree.stab(3)
+        tree.stab_intervals(3)
+        list(tree.intervals())
+        len(tree)
+        tree.check_invariants()
+        assert tree.version == v
+
+
+class TestIterativeStab:
+    def test_stab_survives_tight_recursion_limit(self):
+        """Pins the stab walk as iterative: a per-node recursion over a
+        tree this deep would blow a recursion limit set just above the
+        current frame depth."""
+        tree = IntervalTree()
+        for i in range(4096):
+            tree.insert(i, i + 0.5, i)
+
+        # Tree height, measured iteratively via the internals.
+        from repro.structures.rbtree import NIL
+
+        depth = 0
+        stack = [(tree._tree.root, 1)]
+        while stack:
+            node, d = stack.pop()
+            if node is NIL:
+                continue
+            depth = max(depth, d)
+            stack.append((node.left, d + 1))
+            stack.append((node.right, d + 1))
+        assert depth >= 12  # recursion would need at least this many frames
+
+        frames = 0
+        frame = sys._getframe()
+        while frame is not None:
+            frames += 1
+            frame = frame.f_back
+        limit = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(frames + 10)
+            hits = tree.stab(1000.25)
+            objects = tree.stab_intervals(1000.25)
+        finally:
+            sys.setrecursionlimit(limit)
+        assert hits == [1000]
+        assert [i.data for i in objects] == [1000]
 
 
 intervals_strategy = st.lists(

@@ -1,0 +1,244 @@
+"""Tests for the R-tree's NumPy leaf kernels and search pruning.
+
+Three concerns:
+
+* parity — with kernels on and off the three dominance searches return
+  identical results (property-tested over random point sets);
+* caching — leaf kernels are invalidated by every structural mutation,
+  and the sanitizer's ``rtree-kernel-cache`` invariant catches a stale
+  mirror;
+* pruning — ``report_dominated`` expands only subtrees whose candidate
+  region contains the probe, pinned by an independent mirror walk over
+  ``last_report_visits``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.rtree_kernels import (
+    HAVE_NUMPY,
+    KERNEL_MIN_LEAF,
+    KERNEL_POLICIES,
+    resolve_kernel_policy,
+)
+from repro.exceptions import StructureCorruptionError
+from repro.structures.rtree import RTree
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not installed")
+
+
+def build_pair(points, max_entries=16):
+    """The same point set in a kernelised and a pure-Python tree.
+
+    Fan-out 16 keeps leaves above :data:`KERNEL_MIN_LEAF`, so the
+    kernelised tree genuinely takes the vectorised path."""
+    on = RTree(dim=len(points[0]), max_entries=max_entries,
+               min_entries=4, kernels="auto")
+    off = RTree(dim=len(points[0]), max_entries=max_entries,
+                min_entries=4, kernels="off")
+    for kappa, point in enumerate(points, start=1):
+        on.insert(point, kappa)
+        off.insert(point, kappa)
+    return on, off
+
+
+def all_nodes(tree):
+    nodes = []
+    stack = [tree._root]
+    while stack:
+        node = stack.pop()
+        nodes.append(node)
+        if not node.is_leaf:
+            stack.extend(node.children)
+    return nodes
+
+
+points_strategy = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12), st.integers(0, 12)),
+    min_size=1,
+    max_size=60,
+)
+probe_strategy = st.tuples(
+    st.integers(0, 12), st.integers(0, 12), st.integers(0, 12)
+)
+
+
+class TestPolicies:
+    def test_resolve_known_policies(self):
+        assert KERNEL_POLICIES == ("auto", "on", "off")
+        assert resolve_kernel_policy("off") is False
+        assert resolve_kernel_policy("auto") is HAVE_NUMPY
+        assert resolve_kernel_policy("on") is HAVE_NUMPY
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_kernel_policy("fast")
+        with pytest.raises(ValueError):
+            RTree(dim=2, kernels="fast")
+
+    def test_off_never_builds_kernels(self):
+        tree = RTree(dim=2, max_entries=4, min_entries=2, kernels="off")
+        for kappa in range(1, 40):
+            tree.insert(((kappa * 7) % 13, (kappa * 5) % 11), kappa)
+        tree.report_dominated((0, 0))
+        tree.max_kappa_dominator((12, 10))
+        assert all(node.kernel is None for node in all_nodes(tree))
+
+    def test_policy_recorded(self):
+        assert RTree(dim=2, kernels="off").kernel_policy == "off"
+        assert RTree(dim=2).kernel_policy == "auto"
+
+
+@needs_numpy
+class TestKernelParity:
+    @settings(max_examples=60, deadline=None)
+    @given(points_strategy, probe_strategy)
+    def test_report_dominated_parity(self, points, probe):
+        on, off = build_pair(points)
+        got = [e.kappa for e in on.report_dominated(probe)]
+        expected = [e.kappa for e in off.report_dominated(probe)]
+        assert sorted(got) == sorted(expected)
+        brute = sorted(
+            kappa
+            for kappa, point in enumerate(points, start=1)
+            if all(a <= b for a, b in zip(probe, point))  # lint: skip=REPRO002
+        )
+        assert sorted(got) == brute
+
+    @settings(max_examples=60, deadline=None)
+    @given(points_strategy, probe_strategy)
+    def test_remove_dominated_parity(self, points, probe):
+        on, off = build_pair(points)
+        # The removal path only *reuses* kernels (building one for a
+        # leaf about to mutate would be pure overhead), so seed them
+        # with a read-only search first.
+        on.report_dominated(probe)
+        got = sorted(e.kappa for e in on.remove_dominated(probe))
+        expected = sorted(e.kappa for e in off.remove_dominated(probe))
+        assert got == expected
+        assert sorted(e.kappa for e in on.entries()) == sorted(
+            e.kappa for e in off.entries()
+        )
+        on.check_invariants()
+        off.check_invariants()
+
+    @settings(max_examples=60, deadline=None)
+    @given(points_strategy, probe_strategy, st.one_of(st.none(), st.integers(1, 60)))
+    def test_max_kappa_dominator_parity(self, points, probe, kappa_below):
+        on, off = build_pair(points)
+        got = on.max_kappa_dominator(probe, kappa_below)
+        expected = off.max_kappa_dominator(probe, kappa_below)
+        if expected is None:
+            assert got is None
+        else:
+            assert got is not None and got.kappa == expected.kappa
+
+
+@needs_numpy
+class TestKernelCache:
+    def test_small_leaves_skip_the_kernel(self):
+        """Below ``KERNEL_MIN_LEAF`` the searches stay on the Python
+        loop — vectorising tiny leaves only pays NumPy call overhead —
+        while a big enough leaf builds and caches its kernel."""
+        # Anti-diagonal points: a mid-range probe intersects the leaf's
+        # MBR without fully dominating it, forcing the per-entry branch.
+        small = RTree(dim=2, max_entries=16, min_entries=4, kernels="auto")
+        for kappa in range(1, KERNEL_MIN_LEAF):  # one leaf, gate not met
+            small.insert((kappa, KERNEL_MIN_LEAF - kappa), kappa)
+        assert [e.kappa for e in small.report_dominated((4, 4))]
+        small.max_kappa_dominator((20, 20))
+        assert all(node.kernel is None for node in all_nodes(small))
+
+        big = RTree(dim=2, max_entries=16, min_entries=4, kernels="auto")
+        for kappa in range(1, KERNEL_MIN_LEAF + 2):
+            big.insert((kappa, KERNEL_MIN_LEAF + 2 - kappa), kappa)
+        assert [e.kappa for e in big.report_dominated((5, 5))]
+        assert any(node.kernel is not None for node in all_nodes(big))
+
+    def test_mutations_invalidate_kernels(self):
+        tree = RTree(dim=2, max_entries=16, min_entries=4, kernels="auto")
+        for kappa in range(1, 60):
+            tree.insert(((kappa * 7) % 13, (kappa * 5) % 11), kappa)
+            tree.report_dominated((0, 0))  # builds kernels on hot leaves
+            if kappa % 3 == 0:
+                tree.delete(kappa - 1)
+            tree.check_invariants()  # includes the kernel-mirror check
+
+    def test_stale_kernel_is_caught(self):
+        tree = RTree(dim=2, max_entries=16, min_entries=4, kernels="auto")
+        for kappa in range(1, 30):
+            tree.insert(((kappa * 7) % 13, (kappa * 5) % 11), kappa)
+        leaf = next(n for n in all_nodes(tree) if n.is_leaf and n.children)
+        kernel = tree._leaf_kernel(leaf)
+        kernel.points[0, 0] += 1.0  # corrupt the mirror behind its back
+        with pytest.raises(StructureCorruptionError) as excinfo:
+            tree.check_invariants()
+        assert "rtree-kernel-cache" in str(excinfo.value)
+
+
+class TestReportPruning:
+    def mirror_visits(self, tree, q):
+        """Independent re-statement of the pruning contract: a node is
+        expanded iff its box passes ``may_contain_dominated`` at push
+        time, and a fully dominated box is harvested without pushing
+        its children."""
+        visits = 0
+        root = tree._root
+        stack = []
+        if root.mbr is not None and root.mbr.may_contain_dominated(q):
+            stack.append(root)
+        while stack:
+            node = stack.pop()
+            if node.mbr is None:
+                continue
+            visits += 1
+            if node.mbr.fully_dominated_by(q) or node.is_leaf:
+                continue
+            for child in node.children:
+                if child.mbr is not None and child.mbr.may_contain_dominated(q):
+                    stack.append(child)
+        return visits
+
+    @pytest.mark.parametrize("kernels", ["auto", "off"])
+    def test_visit_counts_match_mirror(self, kernels):
+        rng = random.Random(42)
+        tree = RTree(dim=3, max_entries=4, min_entries=2, kernels=kernels)
+        points = [
+            tuple(rng.randint(0, 50) for _ in range(3)) for _ in range(300)
+        ]
+        for kappa, point in enumerate(points, start=1):
+            tree.insert(point, kappa)
+        total_nodes = len(all_nodes(tree))
+        pruned_somewhere = False
+        for _ in range(25):
+            q = tuple(rng.randint(0, 50) for _ in range(3))
+            got = sorted(e.kappa for e in tree.report_dominated(q))
+            assert tree.last_report_visits == self.mirror_visits(tree, q)
+            if tree.last_report_visits < total_nodes:
+                pruned_somewhere = True
+            brute = sorted(
+                kappa
+                for kappa, point in enumerate(points, start=1)
+                if all(a <= b for a, b in zip(q, point))  # lint: skip=REPRO002
+            )
+            assert got == brute
+        assert pruned_somewhere
+
+    def test_high_probe_visits_nothing(self):
+        """A probe dominating nothing and outside every candidate region
+        must not expand a single node."""
+        tree = RTree(dim=2, max_entries=4, min_entries=2)
+        for kappa in range(1, 30):
+            tree.insert((kappa % 5, kappa % 7), kappa)
+        assert tree.report_dominated((100, 100)) == []
+        assert tree.last_report_visits == 0
+
+    def test_empty_tree_visits_nothing(self):
+        tree = RTree(dim=2)
+        assert tree.report_dominated((0, 0)) == []
+        assert tree.last_report_visits == 0
