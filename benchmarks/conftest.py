@@ -20,13 +20,34 @@ Scale: all sizes respect ``REPRO_BENCH_SCALE`` (see
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
-from repro.bench import build_n1n2, build_nofn
+from repro.bench import build_n1n2, build_nofn, machine_fingerprint
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def archive_machine_fingerprint():
+    """Write ``results/machine.txt`` alongside the figure outputs.
+
+    Records cpu_count plus the sharding knobs (``REPRO_BENCH_SHARDS``,
+    ``REPRO_BENCH_SHARD_BACKEND``) so archived numbers always say how
+    many cores — and what parallel configuration — produced them.
+    """
+    info = machine_fingerprint(
+        bench_scale=os.environ.get("REPRO_BENCH_SCALE", "1.0"),
+        shards=os.environ.get("REPRO_BENCH_SHARDS", "1"),
+        shard_backend=os.environ.get("REPRO_BENCH_SHARD_BACKEND", "serial"),
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "machine.txt").write_text(
+        "".join(f"{key}: {value}\n" for key, value in sorted(info.items()))
+    )
+    yield
 
 
 @pytest.fixture(scope="session")

@@ -12,6 +12,16 @@ Produces two JSON files (default: the repository root):
     Per-arrival maintenance latency with the R-tree leaf kernels on vs
     off, on a full window.
 
+``BENCH_shard.json``
+    Sharded-router throughput versus shard count (serial and process
+    backends) relative to the single engine, plus n-of-N query latency
+    measured *under concurrent ingest* (queries interleaved with the
+    batched feed, so on the process backend they drain the shards'
+    pending backlog first).  The machine fingerprint records
+    ``cpu_count`` alongside the swept shard counts and backends:
+    speedup numbers are meaningless without knowing how many cores
+    produced them.
+
 Each file holds up to two profiles: ``full`` (the committed reference,
 N = 100k) and ``quick`` (small, seconds-scale; what CI runs).  A run
 only replaces the profile it executed, so ``--quick`` refreshes the
@@ -34,17 +44,18 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import statistics
 import sys
 import time
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.bench.reporting import machine_fingerprint  # noqa: E402
 from repro.core.nofn import NofNSkyline  # noqa: E402
+from repro.parallel import ShardedNofNSkyline  # noqa: E402
 from repro.streams import make_stream  # noqa: E402
 
 SCHEMA = 1
@@ -54,6 +65,13 @@ SEED = 7
 #: A quick-profile speedup may fall this far below the committed one
 #: before ``--check`` fails (ratio-of-ratios, so machine-portable).
 REGRESSION_TOLERANCE = 0.25
+#: Shard speedups are NOT machine-portable — they depend on core count
+#: and scheduler load (on a 1-core box the process backend just
+#: time-slices).  ``--check`` therefore only enforces a sanity floor:
+#: a sharded router falling below a quarter of single-engine
+#: throughput signals a real pathology (quadratic merge, IPC storm),
+#: not noise.
+SHARD_SANITY_FLOOR = 0.25
 
 PROFILES = {
     "full": {"window": 100_000, "warm_points": 16, "warm_repeats": 64,
@@ -62,18 +80,13 @@ PROFILES = {
               "cold_points": 400, "ingest_ops": 400},
 }
 
-
-def machine_fingerprint() -> Dict[str, str]:
-    try:
-        import numpy
-        numpy_version = numpy.__version__
-    except ImportError:
-        numpy_version = "absent"
-    return {
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "numpy": numpy_version,
-    }
+#: Shard counts swept by the ``shard`` kind (1 shows router overhead).
+SHARD_COUNTS = (1, 2, 4)
+SHARD_BACKENDS = ("serial", "process")
+SHARD_PROFILES = {
+    "full": {"window": 100_000, "batch": 1000, "query_every": 10_000},
+    "quick": {"window": 5_000, "batch": 500, "query_every": 1_000},
+}
 
 
 def summarize(samples_ns: List[int]) -> Dict[str, float]:
@@ -159,9 +172,78 @@ def bench_ingest_dim(dim: int, profile: Dict[str, int]) -> Dict[str, Any]:
     return results
 
 
+def _feed_with_queries(
+    engine: Union[NofNSkyline, ShardedNofNSkyline],
+    points: List[Any],
+    batch: int,
+    query_every: int,
+    n: int,
+) -> Tuple[float, List[int]]:
+    """Feed ``points`` in batches with queries interleaved every
+    ``query_every`` arrivals; a final query acts as the drain barrier
+    (on the process backend it waits out the shards' pending backlog).
+    Returns total wall seconds and the per-query latency samples."""
+    query_ns: List[int] = []
+    since_query = 0
+    started = time.perf_counter()
+    for lower in range(0, len(points), batch):
+        engine.append_many(points[lower:lower + batch])
+        since_query += batch
+        if since_query >= query_every:
+            since_query = 0
+            tick = time.perf_counter_ns()
+            engine.query(n)
+            query_ns.append(time.perf_counter_ns() - tick)
+    tick = time.perf_counter_ns()
+    engine.query(n)
+    query_ns.append(time.perf_counter_ns() - tick)
+    return time.perf_counter() - started, query_ns
+
+
+def bench_shard_dim(dim: int, profile: Dict[str, int]) -> Dict[str, Any]:
+    window = profile["window"]
+    points = list(make_stream(DISTRIBUTION, dim, window, SEED))
+    n = max(2, window // 2)
+    feed_args = (points, profile["batch"], profile["query_every"], n)
+
+    single = NofNSkyline(dim=dim, capacity=window)
+    wall, query_ns = _feed_with_queries(single, *feed_args)
+    base_eps = window / wall
+    results: Dict[str, Any] = {
+        "single": {
+            "throughput_eps": round(base_eps, 1),
+            "query": summarize(query_ns),
+        },
+    }
+    for backend in SHARD_BACKENDS:
+        per_count: Dict[str, Any] = {}
+        for shards in SHARD_COUNTS:
+            with ShardedNofNSkyline(
+                dim=dim, capacity=window, shards=shards, backend=backend
+            ) as router:
+                wall, query_ns = _feed_with_queries(router, *feed_args)
+            eps = window / wall
+            per_count[f"s{shards}"] = {
+                "throughput_eps": round(eps, 1),
+                "speedup": round(eps / base_eps, 2),
+                "query": summarize(query_ns),
+            }
+        results[backend] = per_count
+    return results
+
+
 def run_profile(name: str, kind: str) -> Dict[str, Any]:
-    profile = PROFILES[name]
-    bench = bench_query_dim if kind == "query" else bench_ingest_dim
+    if kind == "shard":
+        profile = SHARD_PROFILES[name]
+        bench = bench_shard_dim
+        machine = machine_fingerprint(
+            shards=",".join(str(s) for s in SHARD_COUNTS),
+            backends=",".join(SHARD_BACKENDS),
+        )
+    else:
+        profile = PROFILES[name]
+        bench = bench_query_dim if kind == "query" else bench_ingest_dim
+        machine = machine_fingerprint()
     results = {}
     for dim in DIMS:
         print(f"[{kind}/{name}] d={dim} N={profile['window']} ...",
@@ -169,7 +251,7 @@ def run_profile(name: str, kind: str) -> Dict[str, Any]:
         results[f"d{dim}"] = bench(dim, profile)
     return {
         "config": dict(profile, distribution=DISTRIBUTION, seed=SEED),
-        "machine": machine_fingerprint(),
+        "machine": machine,
         "results": results,
     }
 
@@ -203,6 +285,20 @@ def check_regression(fresh: Dict[str, Any], committed_path: Path,
     for dim_key, fresh_dim in fresh["results"].items():
         base_dim = baseline["results"].get(dim_key)
         if base_dim is None:
+            continue
+        if kind == "shard":
+            # Unlike the cached/uncached ratios (both sides measured in
+            # one process), shard speedups depend on core count and
+            # scheduler load, so committed values make a flaky baseline.
+            # Enforce only the sanity floor.
+            for backend in SHARD_BACKENDS:
+                for s_key, fresh_entry in fresh_dim.get(backend, {}).items():
+                    if fresh_entry["speedup"] < SHARD_SANITY_FLOOR:
+                        failures.append(
+                            f"shard/{dim_key}/{backend}/{s_key}: speedup "
+                            f"{fresh_entry['speedup']} fell below the "
+                            f"sanity floor {SHARD_SANITY_FLOOR}"
+                        )
             continue
         labels = ("warm", "cold") if kind == "query" else (None,)
         for label in labels:
@@ -245,7 +341,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args.out.mkdir(parents=True, exist_ok=True)
     failures: List[str] = []
     for kind, filename in (("query", "BENCH_query.json"),
-                           ("ingest", "BENCH_ingest.json")):
+                           ("ingest", "BENCH_ingest.json"),
+                           ("shard", "BENCH_shard.json")):
         profiles = {name: run_profile(name, kind) for name in profile_names}
         snapshot = merge_snapshot(args.out / filename, kind, profiles)
         (args.out / filename).write_text(json.dumps(snapshot, indent=2) + "\n")
@@ -268,6 +365,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f" cold x{entry['cold']['speedup']}"
                     f" (|R_N|={entry['rn_size']})"
                 )
+    shard_snapshot = json.loads((args.out / "BENCH_shard.json").read_text())
+    cores = shard_snapshot["profiles"]["quick"]["machine"]["cpu_count"]
+    for name, profile in shard_snapshot["profiles"].items():
+        for dim_key, entry in profile["results"].items():
+            speedups = " ".join(
+                f"{backend}/{s_key} x{sub['speedup']}"
+                for backend in SHARD_BACKENDS
+                for s_key, sub in entry[backend].items()
+            )
+            print(f"shard/{name}/{dim_key} [{cores} cores]: {speedups}")
     return 0
 
 

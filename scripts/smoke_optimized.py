@@ -33,7 +33,9 @@ from repro import (
     NofNSkyline,
     TimeWindowSkyline,
 )
-from repro.exceptions import StructureCorruptionError
+from repro.core.element import StreamElement
+from repro.exceptions import ShardFailureError, StructureCorruptionError
+from repro.parallel import ShardedKSkyband, ShardedNofNSkyline
 
 
 def check(condition: bool, message: str) -> None:
@@ -128,6 +130,61 @@ def smoke_continuous(sanitize: str) -> None:
     )
 
 
+def smoke_sharded(sanitize: str, shards: int) -> None:
+    points = points_stream(400, 2, seed=6)
+    reference = NofNSkyline(dim=2, capacity=100)
+    for p in points:
+        reference.append(p)
+    band_reference = KSkybandEngine(dim=2, capacity=100, k=2)
+    for p in points:
+        band_reference.append(p)
+    for backend in ("serial", "process"):
+        with ShardedNofNSkyline(
+            dim=2, capacity=100, shards=shards, backend=backend,
+            sanitize=sanitize,
+        ) as router:
+            router.append_many(points[:250])
+            for p in points[250:]:
+                router.append(p)
+            for n in (1, 50, 100):
+                check(
+                    [e.kappa for e in router.query(n)]
+                    == [e.kappa for e in reference.query(n)],
+                    f"sharded/{backend} skyline mismatch at n={n}",
+                )
+            router.check_invariants()
+        with ShardedKSkyband(
+            dim=2, capacity=100, k=2, shards=shards, backend=backend,
+            sanitize=sanitize,
+        ) as band:
+            band.append_many(points)
+            check(
+                [e.kappa for e in band.skyband()]
+                == [e.kappa for e in band_reference.skyband()],
+                f"sharded/{backend} skyband mismatch",
+            )
+            band.check_invariants()
+
+
+def smoke_shard_failure_surfaces(shards: int) -> None:
+    """A crashed worker must raise ShardFailureError, never hang."""
+    router = ShardedNofNSkyline(
+        dim=2, capacity=20, shards=shards, backend="process", timeout=30.0
+    )
+    try:
+        router.append((0.5, 0.5))
+        # Inject a wrong-dimension element straight into shard 0: the
+        # worker's ingest raises, ships the traceback back, and exits.
+        router._executor.ingest(0, StreamElement((0.1, 0.2, 0.3), 999))
+        try:
+            router.query(10)
+        except ShardFailureError:
+            return
+        check(False, "dead shard did not surface as ShardFailureError")
+    finally:
+        router.close()
+
+
 def smoke_corruption_check_survives_dash_o(sanitize: str) -> None:
     engine = NofNSkyline(dim=2, capacity=2, sanitize=sanitize)
     engine.append((0.2, 0.8))
@@ -147,6 +204,11 @@ def main() -> int:
         "--sanitize", default="off", choices=("off", "sampled", "full"),
         help="attach the invariant sanitizer to every engine",
     )
+    parser.add_argument(
+        "--shards", type=int, default=0, metavar="S",
+        help="additionally smoke the sharded routers with S shards on "
+             "both backends (0 = skip, the default)",
+    )
     args = parser.parse_args()
     smoke_nofn(args.sanitize)
     smoke_timewindow(args.sanitize)
@@ -154,9 +216,13 @@ def main() -> int:
     smoke_skyband(args.sanitize)
     smoke_continuous(args.sanitize)
     smoke_corruption_check_survives_dash_o(args.sanitize)
+    if args.shards:
+        smoke_sharded(args.sanitize, args.shards)
+        smoke_shard_failure_surfaces(args.shards)
     mode = "optimized (-O)" if not __debug__ else "debug"
+    sharded = f", shards={args.shards}" if args.shards else ""
     print(f"smoke_optimized: all engines OK "
-          f"[{mode}, sanitize={args.sanitize}]")
+          f"[{mode}, sanitize={args.sanitize}{sharded}]")
     return 0
 
 

@@ -14,6 +14,7 @@ from repro.bench.reporting import (
     format_percent,
     format_rate,
     format_seconds,
+    machine_fingerprint,
     render_series,
     render_table,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "format_percent",
     "format_rate",
     "format_seconds",
+    "machine_fingerprint",
     "render_series",
     "render_table",
     "scaled",

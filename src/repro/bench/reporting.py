@@ -7,7 +7,32 @@ laid side by side with the paper's plots.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import os
+import platform
+from typing import Dict, List, Sequence
+
+
+def machine_fingerprint(**extra: object) -> Dict[str, str]:
+    """Identity of the measuring machine, for benchmark snapshots.
+
+    Includes ``cpu_count`` so parallel (sharded) numbers are never read
+    without knowing how many cores produced them.  Keyword arguments
+    (e.g. ``shards=...``, ``backends=...``) are stringified into the
+    fingerprint so configuration rides along with machine identity.
+    """
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = "absent"
+    info = {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "cpu_count": str(os.cpu_count() or 0),
+    }
+    info.update({key: str(value) for key, value in extra.items()})
+    return info
 
 
 def format_seconds(seconds: float) -> str:

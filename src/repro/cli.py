@@ -41,6 +41,11 @@ from repro.accel.rtree_kernels import KERNEL_POLICIES
 from repro.bench.reporting import format_percent, format_rate
 from repro.core.nofn import NofNSkyline
 from repro.core.skyband import KSkybandEngine
+from repro.parallel.sharded import (
+    BACKENDS,
+    ShardedKSkyband,
+    ShardedNofNSkyline,
+)
 from repro.sanitize.sanitizer import MODES
 from repro.streams.generators import distributions, make_stream
 
@@ -51,6 +56,10 @@ ALGORITHMS = {
     "bbs": bbs_skyline,
     "naive": naive_skyline,
 }
+
+WindowEngine = Union[
+    KSkybandEngine, NofNSkyline, ShardedKSkyband, ShardedNofNSkyline
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -106,6 +115,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "searches: auto uses them when NumPy is "
                           "importable, off forces the pure-Python paths "
                           "(default auto)")
+    win.add_argument("--shards", type=int, default=1, metavar="S",
+                     help="shard the stream round-robin across S engines "
+                          "and answer queries by fan-out/merge (default 1 "
+                          "= the plain single engine)")
+    win.add_argument("--shard-backend", default="serial",
+                     choices=list(BACKENDS),
+                     help="where shard engines run when --shards > 1: "
+                          "in-process (serial) or one worker process per "
+                          "shard (process); default serial")
 
     sub.add_parser("info", help="version and capability summary")
     return parser
@@ -159,62 +177,91 @@ def _cmd_window(args: argparse.Namespace, out: TextIO) -> int:
     if args.batch is not None and args.batch < 1:
         raise ValueError("--batch must be >= 1")
 
+    if args.shards < 1:
+        raise ValueError("--shards must be >= 1")
+
     points = _read_points(args.input)
     if not points:
         return 0
+    engine = _build_window_engine(args, dim=len(points[0]))
+    try:
+        if args.batch:
+            # Batches are clipped at --every boundaries so the reports
+            # land after exactly the same arrivals as per-element replay.
+            fed = 0
+            while fed < len(points):
+                upper = min(fed + args.batch, len(points))
+                if args.every:
+                    next_report = (fed // args.every + 1) * args.every
+                    upper = min(upper, next_report)
+                engine.append_many(points[fed:upper])
+                fed = upper
+                if args.every and fed % args.every == 0:
+                    _print_result(out, engine, n, label=f"after {fed}")
+        else:
+            for i, point in enumerate(points):
+                engine.append(point)
+                if args.every and (i + 1) % args.every == 0:
+                    _print_result(out, engine, n, label=f"after {i + 1}")
+        _print_result(out, engine, n, label="final")
+        if args.batch:
+            _print_batch_stats(out, engine)
+    finally:
+        if isinstance(engine, (ShardedKSkyband, ShardedNofNSkyline)):
+            engine.close()
+    return 0
+
+
+def _build_window_engine(args: argparse.Namespace, dim: int) -> WindowEngine:
     query_cache = args.query_cache == "on"
+    if args.shards > 1:
+        if args.band > 1:
+            return ShardedKSkyband(
+                dim=dim,
+                capacity=args.capacity,
+                k=args.band,
+                shards=args.shards,
+                backend=args.shard_backend,
+                sanitize=args.sanitize,
+                query_cache=query_cache,
+                kernels=args.kernels,
+            )
+        return ShardedNofNSkyline(
+            dim=dim,
+            capacity=args.capacity,
+            shards=args.shards,
+            backend=args.shard_backend,
+            sanitize=args.sanitize,
+            query_cache=query_cache,
+            kernels=args.kernels,
+        )
     if args.band > 1:
-        engine: Union[KSkybandEngine, NofNSkyline] = KSkybandEngine(
-            dim=len(points[0]),
+        return KSkybandEngine(
+            dim=dim,
             capacity=args.capacity,
             k=args.band,
             sanitize=args.sanitize,
             query_cache=query_cache,
             kernels=args.kernels,
         )
-    else:
-        engine = NofNSkyline(
-            dim=len(points[0]),
-            capacity=args.capacity,
-            sanitize=args.sanitize,
-            query_cache=query_cache,
-            kernels=args.kernels,
-        )
-    if args.batch:
-        # Batches are clipped at --every boundaries so the reports land
-        # after exactly the same arrivals as per-element replay.
-        fed = 0
-        while fed < len(points):
-            upper = min(fed + args.batch, len(points))
-            if args.every:
-                next_report = (fed // args.every + 1) * args.every
-                upper = min(upper, next_report)
-            engine.append_many(points[fed:upper])
-            fed = upper
-            if args.every and fed % args.every == 0:
-                _print_result(out, engine, n, label=f"after {fed}")
-    else:
-        for i, point in enumerate(points):
-            engine.append(point)
-            if args.every and (i + 1) % args.every == 0:
-                _print_result(out, engine, n, label=f"after {i + 1}")
-    _print_result(out, engine, n, label="final")
-    if args.batch:
-        _print_batch_stats(out, engine)
-    return 0
+    return NofNSkyline(
+        dim=dim,
+        capacity=args.capacity,
+        sanitize=args.sanitize,
+        query_cache=query_cache,
+        kernels=args.kernels,
+    )
 
 
 def _print_result(
-    out: TextIO, engine: Union[KSkybandEngine, NofNSkyline], n: int, label: str
+    out: TextIO, engine: WindowEngine, n: int, label: str
 ) -> None:
     result = engine.query(n)
     kappas = ",".join(str(e.kappa) for e in result)
     print(f"{label}\tn={n}\tsize={len(result)}\tkappas={kappas}", file=out)
 
 
-def _print_batch_stats(
-    out: TextIO, engine: Union[KSkybandEngine, NofNSkyline]
-) -> None:
+def _print_batch_stats(out: TextIO, engine: WindowEngine) -> None:
     stats = engine.stats
     print(
         f"batch\tbatches={stats.batches}"
@@ -230,6 +277,7 @@ def _cmd_info(out: TextIO) -> int:
     print(f"distributions: {', '.join(distributions())}", file=out)
     print(f"static algorithms: {', '.join(sorted(ALGORITHMS))}", file=out)
     print("engines: NofNSkyline, N1N2Skyline, TimeWindowSkyline", file=out)
+    print(f"sharded backends: {', '.join(BACKENDS)}", file=out)
     return 0
 
 

@@ -31,12 +31,15 @@ and query cost) shrinks as ``epsilon`` grows —
 from __future__ import annotations
 
 import math
-from typing import Any, List, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from repro.core.element import StreamElement
 from repro.core.events import ArrivalOutcome
 from repro.core.nofn import NofNSkyline
 from repro.core.stats import EngineStats
+
+if TYPE_CHECKING:
+    from repro.accel.stab_cache import StabCache
 
 
 class ApproxNofNSkyline:
@@ -140,6 +143,26 @@ class ApproxNofNSkyline:
     def stats(self) -> EngineStats:
         """The wrapped engine's counters."""
         return self._inner.stats
+
+    @property
+    def structure_version(self) -> int:
+        """Monotonic version of the wrapped engine's interval encoding."""
+        return self._inner.structure_version
+
+    @property
+    def stab_cache(self) -> "Optional[StabCache[Any]]":
+        """The wrapped engine's query cache (``None`` when disabled)."""
+        return self._inner.stab_cache
+
+    @property
+    def kernel_policy(self) -> str:
+        """The ``kernels`` knob the wrapped engine was built with."""
+        return self._inner.kernel_policy
+
+    def cache_stats(self) -> Optional[Dict[str, int]]:
+        """Hit/miss/rebuild counters of the wrapped engine's query
+        cache (``None`` when caching is disabled)."""
+        return self._inner.cache_stats()
 
     def check_invariants(self) -> None:
         """Delegate structural validation to the exact engine."""

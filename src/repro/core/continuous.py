@@ -38,7 +38,16 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Set
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
 
 from repro.core.element import StreamElement
 from repro.core.events import ArrivalOutcome, BatchOutcome
@@ -46,6 +55,9 @@ from repro.core.nofn import NofNSkyline
 from repro.exceptions import InvalidWindowError, QueryNotRegisteredError
 from repro.sanitize.sanitizer import InvariantSanitizer, SanitizeArg
 from repro.structures.heap import MinIndexedHeap
+
+if TYPE_CHECKING:
+    from repro.accel.stab_cache import StabCache
 
 
 class ContinuousQueryHandle:
@@ -316,6 +328,26 @@ class ContinuousQueryManager:
     def sanitize_mode(self) -> str:
         """The active sanitize mode (``"off"`` when none is attached)."""
         return "off" if self._sanitizer is None else self._sanitizer.mode
+
+    @property
+    def structure_version(self) -> int:
+        """Monotonic version of the wrapped engine's interval encoding."""
+        return self.engine.structure_version
+
+    @property
+    def stab_cache(self) -> "Optional[StabCache[Any]]":
+        """The wrapped engine's query cache (``None`` when disabled)."""
+        return self.engine.stab_cache
+
+    @property
+    def kernel_policy(self) -> str:
+        """The ``kernels`` knob the wrapped engine was built with."""
+        return self.engine.kernel_policy
+
+    def cache_stats(self) -> Optional[Dict[str, int]]:
+        """Hit/miss/rebuild counters of the wrapped engine's query
+        cache (``None`` when caching is disabled)."""
+        return self.engine.cache_stats()
 
     def check_invariants(self) -> None:
         """Verify trigger heaps, the graph mirror and result sync.

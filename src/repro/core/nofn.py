@@ -323,7 +323,6 @@ class NofNSkyline:
         """
         chunk = elements[lo:hi]
         pre = BatchPrefilter([e.values for e in chunk], k=1)
-        base_kappa = chunk[0].kappa
         # Once-per-chunk expiry gate: if neither the oldest live label
         # nor the chunk's own first label can fall below the window
         # start as of the chunk's *last* arrival, no arrival in the
@@ -368,7 +367,7 @@ class NofNSkyline:
                 self._detach(tree_record)
                 dominated.append(tree_record.element)
             for h in pre.killed_at(i):
-                doomed = pending.pop(base_kappa + h, None)
+                doomed = pending.pop(chunk[h].kappa, None)
                 if doomed is None:
                     continue  # already expired
                 parent = self._records.get(doomed.parent_kappa)
@@ -383,7 +382,7 @@ class NofNSkyline:
             if pre.is_doomed(i):
                 best = None if parent_entry is None else parent_entry.data
                 for h in pre.older_weak_dominators(i):
-                    candidate = pending.get(base_kappa + h)
+                    candidate = pending.get(chunk[h].kappa)
                     if candidate is not None:
                         if (
                             best is None
@@ -391,7 +390,7 @@ class NofNSkyline:
                         ):
                             best = candidate
                         break
-                    if base_kappa + h in self._records:
+                    if chunk[h].kappa in self._records:
                         break  # a survivor: the R-tree search covered it
                     # else: killed or expired already — keep walking
                 if best is not None:

@@ -14,7 +14,15 @@ Supported engines:
 * :class:`~repro.core.timewindow.TimeWindowSkyline` — additionally the
   horizon, clock and per-element timestamps;
 * :class:`~repro.core.n1n2.N1N2Skyline` — all of ``P_N`` with both CBC
-  ancestors.
+  ancestors;
+* :class:`~repro.parallel.sharded.ShardedNofNSkyline` /
+  :class:`~repro.parallel.sharded.ShardedKSkyband` — the union of the
+  shards' retained elements, stored *flat* (sorted by kappa) so one
+  snapshot restores under any shard count or backend: restore replays
+  the records through the router's round-robin ingestion, re-deriving
+  every per-shard graph annotation.  Same-shard-count restores are
+  state-identical; different counts answer every query identically
+  (the re-shard-on-load path of the parallel subsystem).
 
 Round-trip guarantee: ``restore(snapshot(engine))`` answers every query
 identically to the original (tested property-based).  Payloads are
@@ -25,16 +33,22 @@ JSON-serialisable.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.core.n1n2 import N1N2Skyline, _WindowRecord
 from repro.core.nofn import NofNSkyline, _Record
 from repro.core.element import StreamElement
 from repro.core.timewindow import TimeWindowSkyline
 from repro.exceptions import ReproError
+from repro.parallel.sharded import ShardedKSkyband, ShardedNofNSkyline
 from repro.sanitize.sanitizer import SanitizeArg
 
 FORMAT_VERSION = 1
+
+#: Everything :func:`snapshot` accepts and :func:`restore` can return.
+PersistableEngine = Union[
+    NofNSkyline, N1N2Skyline, ShardedNofNSkyline, ShardedKSkyband
+]
 
 
 class SnapshotError(ReproError):
@@ -46,13 +60,60 @@ class SnapshotError(ReproError):
 # ----------------------------------------------------------------------
 
 
-def snapshot(engine: Union[NofNSkyline, N1N2Skyline]) -> Dict[str, Any]:
+def snapshot(engine: PersistableEngine) -> Dict[str, Any]:
     """Serialise ``engine`` to a plain dict."""
+    if isinstance(engine, (ShardedNofNSkyline, ShardedKSkyband)):
+        return _snapshot_sharded(engine)
     if isinstance(engine, N1N2Skyline):
         return _snapshot_n1n2(engine)
     if isinstance(engine, NofNSkyline):  # covers TimeWindowSkyline too
         return _snapshot_nofn(engine)
     raise SnapshotError(f"unsupported engine type: {type(engine).__name__}")
+
+
+def _snapshot_sharded(
+    router: Union[ShardedNofNSkyline, ShardedKSkyband]
+) -> Dict[str, Any]:
+    """Flat, shard-count-agnostic dump of a sharded router.
+
+    Only the retained elements travel (kappa/values/payload, sorted by
+    kappa); restore re-derives all graph annotations by replay, so the
+    snapshot is identical whatever ``shards``/``backend`` produced it.
+    """
+    rows: List[Dict[str, Any]] = [
+        row
+        for shard_rows in router._executor.records_all()
+        for row in shard_rows
+    ]
+    rows.sort(key=lambda row: int(row["kappa"]))
+    snap: Dict[str, Any] = {
+        "format": FORMAT_VERSION,
+        "kind": (
+            "sharded-skyband"
+            if isinstance(router, ShardedKSkyband)
+            else "sharded-nofn"
+        ),
+        "dim": router.dim,
+        "capacity": router.capacity,
+        "shards": router.shards,
+        "backend": router.backend,
+        "seen_so_far": router.seen_so_far,
+        "records": rows,
+        "stats": router.stats.snapshot_raw(),
+        "rtree": {
+            "max_entries": router._rtree_config["rtree_max_entries"],
+            "min_entries": router._rtree_config["rtree_min_entries"],
+            "split": router._rtree_config["rtree_split"],
+        },
+        "query": {
+            "cache": router._query_cache,
+            "kernels": router.kernel_policy,
+        },
+        "sanitize": router.sanitize_mode,
+    }
+    if isinstance(router, ShardedKSkyband):
+        snap["k"] = router.k
+    return snap
 
 
 def _snapshot_nofn(engine: NofNSkyline) -> Dict[str, Any]:
@@ -147,13 +208,20 @@ def _snapshot_n1n2(engine: N1N2Skyline) -> Dict[str, Any]:
 
 
 def restore(
-    snap: Dict[str, Any], sanitize: SanitizeArg = None
-) -> Union[NofNSkyline, N1N2Skyline]:
+    snap: Dict[str, Any],
+    sanitize: SanitizeArg = None,
+    shards: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> PersistableEngine:
     """Rebuild a live engine from a :func:`snapshot` dict.
 
     ``sanitize`` overrides the sanitize mode recorded in the snapshot
     (``None`` keeps the recorded mode; snapshots written before the
     mode was recorded restore with ``"off"``, as they always did).
+    ``shards`` / ``backend`` apply to sharded snapshots only and
+    override the recorded topology — restoring a 4-shard snapshot with
+    ``shards=2`` re-shards the stream on load (and vice versa); every
+    query answers identically either way.
     """
     _require(isinstance(snap, dict), "snapshot must be a dict")
     if snap.get("format") != FORMAT_VERSION:
@@ -186,7 +254,52 @@ def restore(
         return _restore_nofn(snap, engine)
     if kind == "n1n2":
         return _restore_n1n2(snap, sanitize)
+    if kind in ("sharded-nofn", "sharded-skyband"):
+        return _restore_sharded(snap, sanitize, shards, backend)
     raise SnapshotError(f"unknown snapshot kind: {kind!r}")
+
+
+def _restore_sharded(
+    snap: Dict[str, Any],
+    sanitize: SanitizeArg,
+    shards: Optional[int],
+    backend: Optional[str],
+) -> Union[ShardedNofNSkyline, ShardedKSkyband]:
+    shard_count = int(snap.get("shards", 1)) if shards is None else shards
+    chosen = str(snap.get("backend", "serial")) if backend is None else backend
+    kwargs: Dict[str, Any] = dict(
+        shards=shard_count,
+        backend=chosen,
+        sanitize=sanitize,
+        **_rtree_kwargs(snap),
+        **_query_kwargs(snap),
+    )
+    router: Union[ShardedNofNSkyline, ShardedKSkyband]
+    if snap["kind"] == "sharded-skyband":
+        router = ShardedKSkyband(
+            snap["dim"], snap["capacity"], int(snap["k"]), **kwargs
+        )
+    else:
+        router = ShardedNofNSkyline(snap["dim"], snap["capacity"], **kwargs)
+    previous = 0
+    for raw in snap["records"]:
+        kappa = int(raw["kappa"])
+        _require(
+            kappa > previous,
+            f"sharded records must be sorted by kappa, got {kappa} "
+            f"after {previous}",
+        )
+        previous = kappa
+        element = StreamElement(raw["values"], kappa, raw.get("payload"))
+        router._executor.ingest(router._route(kappa), element)
+    seen = int(snap["seen_so_far"])
+    _require(
+        seen >= previous,
+        f"seen_so_far {seen} precedes the newest record {previous}",
+    )
+    router._m = seen
+    _restore_stats(router, snap.get("stats"))
+    return router
 
 
 def _rtree_kwargs(snap: Dict[str, Any]) -> Dict[str, Any]:
@@ -301,9 +414,7 @@ def _restore_n1n2(
     return engine
 
 
-def _restore_stats(
-    engine: Union[NofNSkyline, N1N2Skyline], raw: Any
-) -> None:
+def _restore_stats(engine: PersistableEngine, raw: Any) -> None:
     if not raw:
         return
     stats = engine.stats
@@ -327,12 +438,23 @@ def _require(condition: bool, message: str) -> None:
 # ----------------------------------------------------------------------
 
 
-def dumps(engine: Union[NofNSkyline, N1N2Skyline]) -> str:
+def dumps(engine: PersistableEngine) -> str:
     """Snapshot ``engine`` as a JSON string (payloads must be
     JSON-serialisable)."""
     return json.dumps(snapshot(engine))
 
 
-def loads(text: str) -> Union[NofNSkyline, N1N2Skyline]:
-    """Rebuild an engine from :func:`dumps` output."""
-    return restore(json.loads(text))
+def loads(
+    text: str,
+    sanitize: SanitizeArg = None,
+    shards: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> PersistableEngine:
+    """Rebuild an engine from :func:`dumps` output.
+
+    Overrides are forwarded to :func:`restore`: ``shards`` / ``backend``
+    re-shard a sharded snapshot onto a different layout on load.
+    """
+    return restore(
+        json.loads(text), sanitize=sanitize, shards=shards, backend=backend
+    )

@@ -156,7 +156,12 @@ class KSkybandEngine:
         """Ingest one stream element; return it."""
         self._m += 1
         element = StreamElement(values, self._m, payload)
+        self._arrive(element)
+        return element
 
+    def _arrive(self, element: StreamElement) -> None:
+        """Run the per-arrival maintenance for an already-built element
+        (``self._m`` has been advanced to ``element.kappa``)."""
         # Expiry: drop retained elements that left the window.  Their
         # positions fall below every admissible stab point, so nobody
         # else's interval needs touching.
@@ -219,7 +224,6 @@ class KSkybandEngine:
         )
         if self._sanitizer is not None:
             self._sanitizer.maybe_verify(self)
-        return element
 
     def append_many(
         self,
@@ -240,18 +244,29 @@ class KSkybandEngine:
         Validation is all-or-nothing: dimension mismatches and invalid
         values raise before any engine state changes.
         """
-        started = perf_counter()
         elements = self._batch_elements(points, payloads)
+        self._ingest_elements(elements)
+        return elements
+
+    def _batch_chunk_size(self) -> int:
+        """Largest batch chunk whose members cannot expire before their
+        in-chunk ``k``-th dominator arrives (kappas are consecutive
+        here; the sharded sub-stream variant tightens this for its
+        strided kappa sequence)."""
+        return min(CHUNK, self.capacity)
+
+    def _ingest_elements(self, elements: List[StreamElement]) -> None:
+        """Run the chunked batch-arrival loop over validated elements
+        (kappas already assigned and strictly increasing)."""
+        started = perf_counter()
         dropped = 0
-        chunk = min(CHUNK, self.capacity)
-        for lo, hi in iter_chunks(len(elements), chunk):
+        for lo, hi in iter_chunks(len(elements), self._batch_chunk_size()):
             dropped += self._arrive_chunk(elements, lo, hi)
             if self._sanitizer is not None:
                 self._sanitizer.maybe_verify(self)
         self.stats.record_batch(
             size=len(elements), dropped=dropped, seconds=perf_counter() - started
         )
-        return elements
 
     def _batch_elements(
         self,
@@ -289,7 +304,6 @@ class KSkybandEngine:
         """
         chunk = elements[lo:hi]
         pre = BatchPrefilter([e.values for e in chunk], k=self.k)
-        base_kappa = chunk[0].kappa
         # Expiry gate: if the oldest retained position survives even the
         # chunk's final threshold, no arrival in the chunk can expire
         # anything (chunk members themselves cannot, chunk <= capacity).
@@ -326,14 +340,14 @@ class KSkybandEngine:
                 while len(older_doms) < self.k:
                     if pend_head is None:
                         for h in pend_stream:
-                            if base_kappa + h in pending:
+                            if chunk[h].kappa in pending:
                                 pend_head = h
                                 break
                     if tree_head is None and pend_head is None:
                         break
                     if tree_head is not None and (
                         pend_head is None
-                        or tree_head.kappa > base_kappa + pend_head
+                        or tree_head.kappa > chunk[pend_head].kappa
                     ):
                         bound = tree_head.kappa
                         # Duplicate-identity check (tie rule), as above.
@@ -343,7 +357,7 @@ class KSkybandEngine:
                             element.values, kappa_below=bound
                         )
                     else:
-                        candidate = pending[base_kappa + pend_head]
+                        candidate = pending[chunk[pend_head].kappa]
                         # Duplicate-identity check (tie rule), as above.
                         if candidate.values != element.values:  # lint: skip=REPRO004
                             older_doms.append(candidate.kappa)
@@ -360,7 +374,7 @@ class KSkybandEngine:
                 else:
                     self._reseat(dominated_record)
             for h in pre.killed_at(i):
-                if pending.pop(base_kappa + h, None) is not None:
+                if pending.pop(chunk[h].kappa, None) is not None:
                     demoted += 1
 
             if pre.is_doomed(i):

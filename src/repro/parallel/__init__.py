@@ -1,0 +1,33 @@
+"""Sharded parallel engines: multi-core ingestion, exact fan-out/merge.
+
+Public surface:
+
+* :class:`~repro.parallel.sharded.ShardedNofNSkyline` /
+  :class:`~repro.parallel.sharded.ShardedKSkyband` — round-robin
+  routers with ``serial`` and ``process`` executor backends;
+* :func:`~repro.parallel.merge.merge_skyline` /
+  :func:`~repro.parallel.merge.merge_skyband` — the exact merge steps;
+* the per-shard engines and executors, for tests and tooling.
+"""
+
+from repro.parallel.executors import ProcessExecutor, SerialExecutor
+from repro.parallel.merge import merge_skyband, merge_skyline
+from repro.parallel.shard_engines import (
+    ShardKSkybandEngine,
+    ShardNofNEngine,
+    build_shard_engine,
+)
+from repro.parallel.sharded import BACKENDS, ShardedKSkyband, ShardedNofNSkyline
+
+__all__ = [
+    "BACKENDS",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ShardKSkybandEngine",
+    "ShardNofNEngine",
+    "ShardedKSkyband",
+    "ShardedNofNSkyline",
+    "build_shard_engine",
+    "merge_skyband",
+    "merge_skyline",
+]

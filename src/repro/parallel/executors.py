@@ -1,0 +1,258 @@
+"""Shard executor backends: in-process serial and multiprocessing.
+
+Both backends expose the same fan-out surface to the routers in
+:mod:`repro.parallel.sharded`; the serial one runs every shard engine
+in-process (the deterministic reference, zero IPC), the process one
+runs each engine in its own worker fed by a per-shard command queue.
+
+The process protocol is deliberately boring: commands are plain tuples,
+ingestion commands are fire-and-forget (per-shard FIFO ordering makes a
+later query observe every earlier arrival), and only query/introspection
+commands produce replies.  Crash safety: a worker wraps its loop in a
+catch-all that ships the traceback back as an ``("error", ...)`` reply
+and exits; the receiving side polls with a timeout and checks worker
+liveness, so a dead or wedged shard surfaces as a structured
+:class:`~repro.exceptions.ShardFailureError` instead of a hang on a
+queue join.  An error emitted by a fire-and-forget ingest is the next
+reply the router reads, so it is attributed on the following query.
+"""
+
+from __future__ import annotations
+
+import traceback
+from multiprocessing import get_context
+from queue import Empty
+from time import monotonic
+from typing import TYPE_CHECKING, Any, Dict, List, Sequence, Tuple
+
+from repro.core.element import StreamElement
+from repro.exceptions import ShardFailureError
+from repro.parallel.shard_engines import (
+    ShardEngine,
+    build_shard_engine,
+    shard_introspection,
+    shard_records,
+)
+
+if TYPE_CHECKING:
+    from multiprocessing.process import BaseProcess
+    from multiprocessing.queues import Queue as MPQueue
+
+BandReply = Tuple[List[List[StreamElement]], List[StreamElement]]
+
+
+class SerialExecutor:
+    """All shard engines in-process; the deterministic reference."""
+
+    backend = "serial"
+
+    def __init__(self, specs: Sequence[Dict[str, Any]]) -> None:
+        self.engines: List[ShardEngine] = [
+            build_shard_engine(spec) for spec in specs
+        ]
+
+    def ingest(self, shard: int, element: StreamElement) -> None:
+        self.engines[shard].ingest(element)
+
+    def ingest_many(
+        self, shard: int, elements: Sequence[StreamElement]
+    ) -> None:
+        self.engines[shard].ingest_many(elements)
+
+    def stabs_all(
+        self, stabs: Sequence[float]
+    ) -> List[List[List[StreamElement]]]:
+        return [
+            [engine.stab_elements(stab) for stab in stabs]
+            for engine in self.engines
+        ]
+
+    def band_all(
+        self, stabs: Sequence[float], witness_stab: float
+    ) -> List[BandReply]:
+        return [
+            (
+                [engine.stab_elements(stab) for stab in stabs],
+                engine.retained_suffix(witness_stab),
+            )
+            for engine in self.engines
+        ]
+
+    def retained_all(self, stab: float) -> List[List[StreamElement]]:
+        return [engine.retained_suffix(stab) for engine in self.engines]
+
+    def introspect_all(self) -> List[Dict[str, Any]]:
+        return [shard_introspection(engine) for engine in self.engines]
+
+    def records_all(self) -> List[List[Dict[str, Any]]]:
+        return [shard_records(engine) for engine in self.engines]
+
+    def check_all(self) -> None:
+        for engine in self.engines:
+            engine.check_invariants()
+
+    def close(self) -> None:
+        """Nothing to release; kept for backend symmetry."""
+
+
+def _shard_worker(
+    spec: Dict[str, Any],
+    commands: "MPQueue[Tuple[Any, ...]]",
+    results: "MPQueue[Tuple[str, Any]]",
+) -> None:
+    """Worker loop: build the shard engine, serve commands until
+    ``stop`` or the first failure (whose traceback is shipped back)."""
+    try:
+        engine = build_shard_engine(spec)
+    except Exception:
+        results.put(("error", traceback.format_exc()))
+        return
+    while True:
+        command = commands.get()
+        op = command[0]
+        try:
+            if op == "stop":
+                results.put(("ok", None))
+                return
+            if op == "ingest":
+                engine.ingest(command[1])
+            elif op == "ingest_many":
+                engine.ingest_many(command[1])
+            elif op == "stabs":
+                results.put(
+                    ("ok", [engine.stab_elements(s) for s in command[1]])
+                )
+            elif op == "band":
+                answers = [engine.stab_elements(s) for s in command[1]]
+                results.put(
+                    ("ok", (answers, engine.retained_suffix(command[2])))
+                )
+            elif op == "retained":
+                results.put(("ok", engine.retained_suffix(command[1])))
+            elif op == "introspect":
+                results.put(("ok", shard_introspection(engine)))
+            elif op == "records":
+                results.put(("ok", shard_records(engine)))
+            elif op == "check":
+                engine.check_invariants()
+                results.put(("ok", None))
+            else:
+                raise ValueError(f"unknown shard command: {op!r}")
+        except Exception:
+            results.put(("error", traceback.format_exc()))
+            return
+
+
+class ProcessExecutor:
+    """One worker process per shard, fed by a per-shard command queue.
+
+    ``timeout`` bounds how long a reply may take once requested; it is
+    generous because a reply is only awaited after the shard's pending
+    ingest backlog (FIFO), which a large ``append_many`` can make long.
+    """
+
+    backend = "process"
+
+    def __init__(
+        self, specs: Sequence[Dict[str, Any]], timeout: float = 120.0
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        context = get_context()
+        self._timeout = timeout
+        self._commands: List["MPQueue[Tuple[Any, ...]]"] = []
+        self._results: List["MPQueue[Tuple[str, Any]]"] = []
+        self._processes: List["BaseProcess"] = []
+        for spec in specs:
+            command_queue: "MPQueue[Tuple[Any, ...]]" = context.Queue()
+            result_queue: "MPQueue[Tuple[str, Any]]" = context.Queue()
+            process = context.Process(
+                target=_shard_worker,
+                args=(dict(spec), command_queue, result_queue),
+                daemon=True,
+            )
+            process.start()
+            self._commands.append(command_queue)
+            self._results.append(result_queue)
+            self._processes.append(process)
+
+    # -- plumbing -------------------------------------------------------
+
+    def _send(self, shard: int, command: Tuple[Any, ...]) -> None:
+        self._commands[shard].put(command)
+
+    def _recv(self, shard: int) -> Any:
+        deadline = monotonic() + self._timeout
+        while True:
+            try:
+                status, payload = self._results[shard].get(timeout=0.25)
+                break
+            except Empty:
+                if not self._processes[shard].is_alive():
+                    raise ShardFailureError(
+                        shard,
+                        "worker process died without reporting an error",
+                    ) from None
+                if monotonic() >= deadline:
+                    raise ShardFailureError(
+                        shard, f"no reply within {self._timeout:.0f}s"
+                    ) from None
+        if status == "error":
+            raise ShardFailureError(shard, f"worker raised:\n{payload}")
+        return payload
+
+    def _roundtrip_all(self, command: Tuple[Any, ...]) -> List[Any]:
+        for shard in range(len(self._processes)):
+            self._send(shard, command)
+        return [self._recv(shard) for shard in range(len(self._processes))]
+
+    # -- fan-out surface ------------------------------------------------
+
+    def ingest(self, shard: int, element: StreamElement) -> None:
+        self._send(shard, ("ingest", element))
+
+    def ingest_many(
+        self, shard: int, elements: Sequence[StreamElement]
+    ) -> None:
+        self._send(shard, ("ingest_many", list(elements)))
+
+    def stabs_all(
+        self, stabs: Sequence[float]
+    ) -> List[List[List[StreamElement]]]:
+        return self._roundtrip_all(("stabs", list(stabs)))
+
+    def band_all(
+        self, stabs: Sequence[float], witness_stab: float
+    ) -> List[BandReply]:
+        return self._roundtrip_all(("band", list(stabs), witness_stab))
+
+    def retained_all(self, stab: float) -> List[List[StreamElement]]:
+        return self._roundtrip_all(("retained", stab))
+
+    def introspect_all(self) -> List[Dict[str, Any]]:
+        return self._roundtrip_all(("introspect",))
+
+    def records_all(self) -> List[List[Dict[str, Any]]]:
+        return self._roundtrip_all(("records",))
+
+    def check_all(self) -> None:
+        self._roundtrip_all(("check",))
+
+    def close(self) -> None:
+        """Stop the workers without ever blocking indefinitely."""
+        for shard, process in enumerate(self._processes):
+            if process.is_alive():
+                try:
+                    self._commands[shard].put(("stop",))
+                except ValueError:  # queue already closed
+                    pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        for command_queue in self._commands:
+            command_queue.close()
+        for result_queue in self._results:
+            result_queue.cancel_join_thread()
+            result_queue.close()

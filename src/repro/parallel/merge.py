@@ -1,0 +1,96 @@
+"""Exact merge of per-shard stabbing answers.
+
+**Skyline (n-of-N) merge.**  Candidates are the union of the shards'
+stab answers at the global stab point ``t = M - n + 1``.  By Theorem 1
+every element of the global answer appears among the candidates: if
+nothing in the window beats ``e``, then nothing in ``e``'s sub-stream
+suffix beats it either, so its own shard reports it.  Conversely every
+*beaten* candidate is beaten (transitively) by some global answer
+element — which is itself a candidate — so filtering the candidate pool
+down to its own skyline removes exactly the non-answers.  The filter is
+the library-wide tie rule (DESIGN.md §7): of exactly equal value
+vectors only the youngest copy survives, then strict Pareto dominance
+(vectorised via :func:`repro.accel.numpy_skyline.pareto_mask`) prunes
+the rest.
+
+**k-skyband merge.**  Candidates alone are not enough: a candidate
+with fewer than ``k`` dominators in *every* sub-stream may still have
+``>= k`` dominators globally.  The witnesses are the union of the
+shards' retained in-window suffixes: within one shard, the ``k``
+youngest in-window dominators of any point are always retained
+(pruning one would require ``k`` younger in-shard dominators of it —
+all of which also dominate the point and are younger, a contradiction
+with "youngest").  Hence if a candidate has ``>= k`` in-window
+dominators globally, at least ``k`` survive into the witness union
+(either one shard contributes ``k``, or every shard's full count does),
+and if it has fewer than ``k``, the witness count can only be smaller
+still — the ``< k`` test over the union decides membership exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.accel.numpy_skyline import pareto_mask
+from repro.core.element import StreamElement
+
+
+def _by_kappa(element: StreamElement) -> int:
+    return element.kappa
+
+
+def merge_skyline(
+    per_shard: Sequence[Sequence[StreamElement]],
+) -> List[StreamElement]:
+    """The exact global skyline from per-shard stab answers,
+    kappa-ascending."""
+    youngest: Dict[Tuple[float, ...], StreamElement] = {}
+    for answers in per_shard:
+        for element in answers:
+            current = youngest.get(element.values)
+            if current is None or element.kappa > current.kappa:
+                youngest[element.values] = element
+    if not youngest:
+        return []
+    pool = list(youngest.values())
+    mask = pareto_mask([element.values for element in pool])
+    merged = [element for element, keep in zip(pool, mask) if keep]
+    merged.sort(key=_by_kappa)
+    return merged
+
+
+def merge_skyband(
+    per_shard: Sequence[Sequence[StreamElement]],
+    witnesses: Sequence[StreamElement],
+    k: int,
+) -> List[StreamElement]:
+    """The exact global k-skyband from per-shard stab answers and the
+    union of the shards' retained in-window elements, kappa-ascending.
+
+    A witness ``w`` counts against candidate ``c`` under the library
+    tie rule: ``w`` weakly dominates ``c`` and is strictly dominating
+    or younger (``c`` itself never counts — equal values, same kappa).
+    """
+    candidates = [element for answers in per_shard for element in answers]
+    if not candidates:
+        return []
+    if not witnesses:
+        # Candidates are retained and in-window, so they are their own
+        # witnesses; an empty union can only mean no dominators at all.
+        return sorted(candidates, key=_by_kappa)
+    witness_values = np.asarray(
+        [w.values for w in witnesses], dtype=np.float64
+    )
+    witness_kappas = np.asarray([w.kappa for w in witnesses], dtype=np.int64)
+    merged: List[StreamElement] = []
+    for candidate in candidates:
+        row = np.asarray(candidate.values, dtype=np.float64)
+        weak = np.all(witness_values <= row, axis=1)
+        strict = np.any(witness_values < row, axis=1)
+        beats = weak & (strict | (witness_kappas > candidate.kappa))
+        if int(np.count_nonzero(beats)) < k:
+            merged.append(candidate)
+    merged.sort(key=_by_kappa)
+    return merged

@@ -34,6 +34,11 @@ The invariant catalogue (the ``invariant`` field of the report):
 ``stab-cache``      the versioned query cache's answer at each tested
                     stab point equals a fresh stab of the live interval
                     tree (checked whenever a cache is attached)
+``shard-merge``     a sharded router's fan-out/merge answer equals a
+                    brute-force oracle over the union of the shards'
+                    retained in-window elements (which provably equals
+                    the single-engine answer; see
+                    :mod:`repro.parallel.merge`)
 ================== ====================================================
 
 plus the structure-level invariants raised by the structures themselves
@@ -64,11 +69,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.nofn import NofNSkyline
     from repro.core.skyband import KSkybandEngine
     from repro.core.timewindow import TimeWindowSkyline
+    from repro.parallel.sharded import _ShardedRouter
 
 __all__ = [
     "verify_continuous",
     "verify_n1n2",
     "verify_nofn",
+    "verify_sharded",
     "verify_skyband",
     "verify_timewindow",
 ]
@@ -785,6 +792,54 @@ def verify_continuous(manager: "ContinuousQueryManager") -> None:
                 "result-sync",
                 f"query {handle.query_id} (n={handle.n}) holds kappas "
                 f"{sorted(handle._members)}, the stabbing query gives "
+                f"{expected}",
+                engine=name,
+            )
+
+
+# ----------------------------------------------------------------------
+# Sharded routers
+# ----------------------------------------------------------------------
+
+
+def verify_sharded(router: "_ShardedRouter") -> None:
+    """Verify a sharded router's fan-out/merge against a brute oracle.
+
+    The oracle population is the union of the shards' retained
+    in-window elements: it contains every global answer element
+    (Theorem 1 containment per sub-stream) and, for every non-answer it
+    contains, at least ``min(k, true count)`` of its in-window beaters
+    (a shard never prunes the ``k`` youngest in-window dominators of
+    any point) — so the brute-force tie-rule scan over the union equals
+    the single-engine answer.  The merge path under test is entirely
+    different code (vectorised dedupe + Pareto mask, or the capped
+    witness count), which is what makes this a real cross-check.
+
+    Raises
+    ------
+    StructureCorruptionError
+        On the first violated invariant.
+    """
+    name = type(router).__name__
+    m = router.seen_so_far
+    if m == 0:
+        return
+    k = int(getattr(router, "k", 1))
+    for n in sorted({1, max(1, router.capacity // 2), router.capacity}):
+        stab = max(1, m - n + 1)
+        got = [e.kappa for e in router._merged([stab])[0]]
+        union = router.retained_union(stab)
+        expected = sorted(
+            e.kappa
+            for e in union
+            if sum(1 for f in union if f is not e and _beats(f, e)) < k
+        )
+        if got != expected:
+            raise corruption(
+                "engine",
+                "shard-merge",
+                f"merged answer at stab {stab} (n={n}, k={k}) reported "
+                f"kappas {got}, the retained-union oracle gives "
                 f"{expected}",
                 engine=name,
             )
