@@ -32,21 +32,39 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 @pytest.fixture(scope="session", autouse=True)
 def archive_machine_fingerprint():
-    """Write ``results/machine.txt`` alongside the figure outputs.
+    """Archive the run's fingerprint in ``results/machine.txt``.
 
     Records cpu_count plus the sharding knobs (``REPRO_BENCH_SHARDS``,
-    ``REPRO_BENCH_SHARD_BACKEND``) so archived numbers always say how
-    many cores — and what parallel configuration — produced them.
+    ``REPRO_BENCH_SHARD_BACKEND``, ``REPRO_BENCH_SHARD_REPLICAS``) so
+    archived numbers always say how many cores — and what parallel
+    configuration — produced them.
+
+    The file keeps one blank-line-separated block per *distinct*
+    configuration ever benchmarked on this checkout (numbers from a
+    replicas-on run and a replicas-off run are different measurements,
+    and both fingerprints should survive).  Re-running an
+    already-archived configuration rewrites the file byte-identically
+    instead of appending a duplicate block.
     """
     info = machine_fingerprint(
         bench_scale=os.environ.get("REPRO_BENCH_SCALE", "1.0"),
         shards=os.environ.get("REPRO_BENCH_SHARDS", "1"),
         shard_backend=os.environ.get("REPRO_BENCH_SHARD_BACKEND", "serial"),
+        shard_replicas=os.environ.get("REPRO_BENCH_SHARD_REPLICAS", "auto"),
     )
+    block = "".join(f"{key}: {value}\n" for key, value in sorted(info.items()))
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "machine.txt").write_text(
-        "".join(f"{key}: {value}\n" for key, value in sorted(info.items()))
-    )
+    path = RESULTS_DIR / "machine.txt"
+    blocks = []
+    if path.exists():
+        blocks = [
+            chunk.strip("\n") + "\n"
+            for chunk in path.read_text().split("\n\n")
+            if chunk.strip()
+        ]
+    if block not in blocks:
+        blocks.append(block)
+    path.write_text("\n".join(blocks))
     yield
 
 

@@ -13,14 +13,16 @@ Produces two JSON files (default: the repository root):
     off, on a full window.
 
 ``BENCH_shard.json``
-    Sharded-router throughput versus shard count (serial and process
-    backends) relative to the single engine, plus n-of-N query latency
-    measured *under concurrent ingest* (queries interleaved with the
-    batched feed, so on the process backend they drain the shards'
-    pending backlog first).  The machine fingerprint records
-    ``cpu_count`` alongside the swept shard counts and backends:
-    speedup numbers are meaningless without knowing how many cores
-    produced them.
+    Sharded-router throughput versus shard count relative to the single
+    engine, plus n-of-N query latency measured *under concurrent
+    ingest* (queries interleaved with the batched feed).  Three
+    variants: ``serial``, ``process`` (command-queue IPC for every
+    query), and ``process_replicas`` (the shared-memory zero-IPC read
+    path, ``replicas="on"``/unbounded lag, where a query binary-searches
+    the shards' published stab snapshots without touching the command
+    queues).  The machine fingerprint records ``cpu_count`` alongside
+    the swept shard counts, backends and replica modes: speedup numbers
+    are meaningless without knowing how many cores produced them.
 
 Each file holds up to two profiles: ``full`` (the committed reference,
 N = 100k) and ``quick`` (small, seconds-scale; what CI runs).  A run
@@ -44,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import statistics
 import sys
 import time
@@ -67,11 +70,19 @@ SEED = 7
 REGRESSION_TOLERANCE = 0.25
 #: Shard speedups are NOT machine-portable — they depend on core count
 #: and scheduler load (on a 1-core box the process backend just
-#: time-slices).  ``--check`` therefore only enforces a sanity floor:
-#: a sharded router falling below a quarter of single-engine
-#: throughput signals a real pathology (quadratic merge, IPC storm),
-#: not noise.
+#: time-slices, so even a healthy run can land far below any floor).
+#: ``--check`` therefore enforces this sanity floor only when the
+#: machine has at least two cores; on fewer it logs a skip instead.
+#: Below the floor signals a real pathology (quadratic merge, IPC
+#: storm), not noise.
 SHARD_SANITY_FLOOR = 0.25
+#: The zero-IPC read path must keep the process backend's query median
+#: within this factor of the single engine's.  Unlike the speedup
+#: floor this IS machine-portable — both sides are measured in the
+#: same run — and it holds on any core count, because replica reads
+#: never wait for a worker (at seed, the command-queue path sat at
+#: ~3000x the single engine under a concurrent feed).
+REPLICA_QUERY_MAX_RATIO = 20.0
 
 PROFILES = {
     "full": {"window": 100_000, "warm_points": 16, "warm_repeats": 64,
@@ -83,6 +94,16 @@ PROFILES = {
 #: Shard counts swept by the ``shard`` kind (1 shows router overhead).
 SHARD_COUNTS = (1, 2, 4)
 SHARD_BACKENDS = ("serial", "process")
+#: Router variants swept by the ``shard`` kind: constructor kwargs per
+#: result key.  ``process`` pins ``replicas="off"`` so it keeps
+#: measuring the command-queue path now that ``auto`` enables replicas.
+SHARD_VARIANTS: Dict[str, Dict[str, Any]] = {
+    "serial": {"backend": "serial"},
+    "process": {"backend": "process", "replicas": "off"},
+    "process_replicas": {
+        "backend": "process", "replicas": "on", "replica_lag": None,
+    },
+}
 SHARD_PROFILES = {
     "full": {"window": 100_000, "batch": 1000, "query_every": 10_000},
     "quick": {"window": 5_000, "batch": 500, "query_every": 1_000},
@@ -180,9 +201,11 @@ def _feed_with_queries(
     n: int,
 ) -> Tuple[float, List[int]]:
     """Feed ``points`` in batches with queries interleaved every
-    ``query_every`` arrivals; a final query acts as the drain barrier
-    (on the process backend it waits out the shards' pending backlog).
-    Returns total wall seconds and the per-query latency samples."""
+    ``query_every`` arrivals.  The wall clock stops only after an
+    explicit drain barrier, because a final query no longer implies one:
+    with replicas a query can legally answer from a published snapshot
+    while the workers still chew on backlog.  Returns total wall
+    seconds and the per-query latency samples."""
     query_ns: List[int] = []
     since_query = 0
     started = time.perf_counter()
@@ -197,6 +220,9 @@ def _feed_with_queries(
     tick = time.perf_counter_ns()
     engine.query(n)
     query_ns.append(time.perf_counter_ns() - tick)
+    drain = getattr(engine, "drain", None)
+    if drain is not None:
+        drain()  # throughput must include the shards' pending backlog
     return time.perf_counter() - started, query_ns
 
 
@@ -215,11 +241,11 @@ def bench_shard_dim(dim: int, profile: Dict[str, int]) -> Dict[str, Any]:
             "query": summarize(query_ns),
         },
     }
-    for backend in SHARD_BACKENDS:
+    for variant, kwargs in SHARD_VARIANTS.items():
         per_count: Dict[str, Any] = {}
         for shards in SHARD_COUNTS:
             with ShardedNofNSkyline(
-                dim=dim, capacity=window, shards=shards, backend=backend
+                dim=dim, capacity=window, shards=shards, **kwargs
             ) as router:
                 wall, query_ns = _feed_with_queries(router, *feed_args)
             eps = window / wall
@@ -228,7 +254,7 @@ def bench_shard_dim(dim: int, profile: Dict[str, int]) -> Dict[str, Any]:
                 "speedup": round(eps / base_eps, 2),
                 "query": summarize(query_ns),
             }
-        results[backend] = per_count
+        results[variant] = per_count
     return results
 
 
@@ -239,6 +265,10 @@ def run_profile(name: str, kind: str) -> Dict[str, Any]:
         machine = machine_fingerprint(
             shards=",".join(str(s) for s in SHARD_COUNTS),
             backends=",".join(SHARD_BACKENDS),
+            replicas=",".join(
+                str(kwargs.get("replicas", "n/a"))
+                for kwargs in SHARD_VARIANTS.values()
+            ),
         )
     else:
         profile = PROFILES[name]
@@ -290,14 +320,38 @@ def check_regression(fresh: Dict[str, Any], committed_path: Path,
             # Unlike the cached/uncached ratios (both sides measured in
             # one process), shard speedups depend on core count and
             # scheduler load, so committed values make a flaky baseline.
-            # Enforce only the sanity floor.
-            for backend in SHARD_BACKENDS:
-                for s_key, fresh_entry in fresh_dim.get(backend, {}).items():
-                    if fresh_entry["speedup"] < SHARD_SANITY_FLOOR:
+            # Enforce only the sanity floor — and only with >= 2 cores,
+            # where parallelism is physically possible.
+            cores = os.cpu_count() or 1
+            single_query = fresh_dim["single"]["query"]["median_us"]
+            for variant in SHARD_VARIANTS:
+                for s_key, fresh_entry in fresh_dim.get(variant, {}).items():
+                    where = f"shard/{dim_key}/{variant}/{s_key}"
+                    if cores < 2:
+                        print(
+                            f"SKIP: {where}: speedup floor not enforced "
+                            f"(cpu_count={cores} < 2: the process backend "
+                            f"can only time-slice)",
+                            file=sys.stderr,
+                        )
+                    elif fresh_entry["speedup"] < SHARD_SANITY_FLOOR:
                         failures.append(
-                            f"shard/{dim_key}/{backend}/{s_key}: speedup "
+                            f"{where}: speedup "
                             f"{fresh_entry['speedup']} fell below the "
                             f"sanity floor {SHARD_SANITY_FLOOR}"
+                        )
+                    if variant != "process_replicas":
+                        continue
+                    ratio = fresh_entry["query"]["median_us"] / max(
+                        single_query, 1e-9
+                    )
+                    if ratio > REPLICA_QUERY_MAX_RATIO:
+                        failures.append(
+                            f"{where}: replica query median "
+                            f"{fresh_entry['query']['median_us']}us is "
+                            f"{ratio:.1f}x the single engine's "
+                            f"{single_query}us (max "
+                            f"{REPLICA_QUERY_MAX_RATIO}x)"
                         )
             continue
         labels = ("warm", "cold") if kind == "query" else (None,)
@@ -335,14 +389,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="compare the quick profile against the "
                              "committed snapshots; non-zero exit on "
                              "regression")
+    parser.add_argument("--only", action="append", metavar="KIND",
+                        choices=("query", "ingest", "shard"),
+                        help="run only the given benchmark kind(s); "
+                             "repeatable (default: all three)")
     args = parser.parse_args(argv)
 
     profile_names = ["quick"] if args.quick else ["full", "quick"]
+    kinds = tuple(args.only) if args.only else ("query", "ingest", "shard")
     args.out.mkdir(parents=True, exist_ok=True)
     failures: List[str] = []
     for kind, filename in (("query", "BENCH_query.json"),
                            ("ingest", "BENCH_ingest.json"),
                            ("shard", "BENCH_shard.json")):
+        if kind not in kinds:
+            continue
         profiles = {name: run_profile(name, kind) for name in profile_names}
         snapshot = merge_snapshot(args.out / filename, kind, profiles)
         (args.out / filename).write_text(json.dumps(snapshot, indent=2) + "\n")
@@ -356,23 +417,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"REGRESSION: {failure}", file=sys.stderr)
     if failures:
         return 1
-    for kind, filename in (("query", "BENCH_query.json"),):
-        snapshot = json.loads((args.out / filename).read_text())
+    if "query" in kinds:
+        snapshot = json.loads((args.out / "BENCH_query.json").read_text())
         for name, profile in snapshot["profiles"].items():
             for dim_key, entry in profile["results"].items():
                 print(
-                    f"{kind}/{name}/{dim_key}: warm x{entry['warm']['speedup']}"
+                    f"query/{name}/{dim_key}: warm x{entry['warm']['speedup']}"
                     f" cold x{entry['cold']['speedup']}"
                     f" (|R_N|={entry['rn_size']})"
                 )
+    if "shard" not in kinds:
+        return 0
     shard_snapshot = json.loads((args.out / "BENCH_shard.json").read_text())
     cores = shard_snapshot["profiles"]["quick"]["machine"]["cpu_count"]
     for name, profile in shard_snapshot["profiles"].items():
         for dim_key, entry in profile["results"].items():
             speedups = " ".join(
-                f"{backend}/{s_key} x{sub['speedup']}"
-                for backend in SHARD_BACKENDS
-                for s_key, sub in entry[backend].items()
+                f"{variant}/{s_key} x{sub['speedup']}"
+                for variant in SHARD_VARIANTS
+                if variant in entry
+                for s_key, sub in entry[variant].items()
             )
             print(f"shard/{name}/{dim_key} [{cores} cores]: {speedups}")
     return 0

@@ -130,7 +130,7 @@ def smoke_continuous(sanitize: str) -> None:
     )
 
 
-def smoke_sharded(sanitize: str, shards: int) -> None:
+def smoke_sharded(sanitize: str, shards: int, backends: tuple) -> None:
     points = points_stream(400, 2, seed=6)
     reference = NofNSkyline(dim=2, capacity=100)
     for p in points:
@@ -138,7 +138,7 @@ def smoke_sharded(sanitize: str, shards: int) -> None:
     band_reference = KSkybandEngine(dim=2, capacity=100, k=2)
     for p in points:
         band_reference.append(p)
-    for backend in ("serial", "process"):
+    for backend in backends:
         with ShardedNofNSkyline(
             dim=2, capacity=100, shards=shards, backend=backend,
             sanitize=sanitize,
@@ -151,6 +151,16 @@ def smoke_sharded(sanitize: str, shards: int) -> None:
                     [e.kappa for e in router.query(n)]
                     == [e.kappa for e in reference.query(n)],
                     f"sharded/{backend} skyline mismatch at n={n}",
+                )
+            if backend == "process":
+                # Three back-to-back queries with no ingest in between:
+                # at least the later ones must have been answered from
+                # the shared-memory replicas, not the command queues.
+                stats = router.replica_stats()
+                check(
+                    stats is not None and stats["serves"] >= 1,
+                    "process backend answered no query from the "
+                    "shared-memory replicas",
                 )
             router.check_invariants()
         with ShardedKSkyband(
@@ -167,7 +177,12 @@ def smoke_sharded(sanitize: str, shards: int) -> None:
 
 
 def smoke_shard_failure_surfaces(shards: int) -> None:
-    """A crashed worker must raise ShardFailureError, never hang."""
+    """A crashed worker must raise ShardFailureError, never hang.
+
+    With replicas on, a query may legally keep answering from the dead
+    worker's last published snapshot, so the failure is forced to the
+    surface with an explicit IPC barrier (``drain``) instead of a read.
+    """
     router = ShardedNofNSkyline(
         dim=2, capacity=20, shards=shards, backend="process", timeout=30.0
     )
@@ -177,6 +192,7 @@ def smoke_shard_failure_surfaces(shards: int) -> None:
         # worker's ingest raises, ships the traceback back, and exits.
         router._executor.ingest(0, StreamElement((0.1, 0.2, 0.3), 999))
         try:
+            router.drain()
             router.query(10)
         except ShardFailureError:
             return
@@ -206,8 +222,15 @@ def main() -> int:
     )
     parser.add_argument(
         "--shards", type=int, default=0, metavar="S",
-        help="additionally smoke the sharded routers with S shards on "
-             "both backends (0 = skip, the default)",
+        help="additionally smoke the sharded routers with S shards "
+             "(0 = skip, the default)",
+    )
+    parser.add_argument(
+        "--shard-backend", default="both",
+        choices=("both", "serial", "process"),
+        help="which sharded backend(s) to smoke when --shards > 0; the "
+             "process backend also proves the shared-memory replica "
+             "read path answered queries (default both)",
     )
     args = parser.parse_args()
     smoke_nofn(args.sanitize)
@@ -217,10 +240,18 @@ def main() -> int:
     smoke_continuous(args.sanitize)
     smoke_corruption_check_survives_dash_o(args.sanitize)
     if args.shards:
-        smoke_sharded(args.sanitize, args.shards)
-        smoke_shard_failure_surfaces(args.shards)
+        backends = (
+            ("serial", "process") if args.shard_backend == "both"
+            else (args.shard_backend,)
+        )
+        smoke_sharded(args.sanitize, args.shards, backends)
+        if "process" in backends:
+            smoke_shard_failure_surfaces(args.shards)
     mode = "optimized (-O)" if not __debug__ else "debug"
-    sharded = f", shards={args.shards}" if args.shards else ""
+    sharded = (
+        f", shards={args.shards} ({args.shard_backend})"
+        if args.shards else ""
+    )
     print(f"smoke_optimized: all engines OK "
           f"[{mode}, sanitize={args.sanitize}{sharded}]")
     return 0

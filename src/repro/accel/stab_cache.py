@@ -158,6 +158,24 @@ class StabCache(Generic[D]):
         """Whether the snapshot matches the tree's current version."""
         return self._tree.version == self._snap_version
 
+    def snapshot_arrays(self) -> Tuple[Any, Any, List[D]]:
+        """The flat snapshot as ``(lows, highs, data)``, rebuilt first if
+        the tree has moved on.
+
+        This is the export surface of the cache: the shared-memory shard
+        replicas (:mod:`repro.parallel.replicas`) publish exactly these
+        arrays, so a reader in another process can answer stabs with the
+        same ``searchsorted`` arithmetic :meth:`stab` uses locally.  With
+        NumPy installed ``lows``/``highs`` are ``float64`` arrays sorted
+        by ``low``; without it they are plain lists.  The returned
+        objects are the cache's own working copies — callers must treat
+        them as read-only (they are replaced wholesale, never mutated,
+        on the next rebuild).
+        """
+        if self._tree.version != self._snap_version:
+            self._rebuild()
+        return self._lows, self._highs, self._data
+
     def invalidate(self) -> None:
         """Drop the snapshot and memo, forcing a rebuild on next stab."""
         self._snap_version = -1

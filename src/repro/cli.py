@@ -43,6 +43,7 @@ from repro.core.nofn import NofNSkyline
 from repro.core.skyband import KSkybandEngine
 from repro.parallel.sharded import (
     BACKENDS,
+    REPLICA_MODES,
     ShardedKSkyband,
     ShardedNofNSkyline,
 )
@@ -124,6 +125,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="where shard engines run when --shards > 1: "
                           "in-process (serial) or one worker process per "
                           "shard (process); default serial")
+    win.add_argument("--shard-replicas", default="auto",
+                     choices=list(REPLICA_MODES),
+                     help="shared-memory stab-snapshot replicas for the "
+                          "process backend (queries read shard state with "
+                          "zero IPC): auto enables them whenever "
+                          "--shard-backend process, on requires them, off "
+                          "disables them (default auto)")
+    win.add_argument("--shard-replica-lag", type=int, default=0, metavar="L",
+                     help="serve a query from replicas only when every "
+                          "shard trails the stream by at most L unabsorbed "
+                          "elements; a negative value means unbounded "
+                          "(always serve the latest published snapshot); "
+                          "default 0 = replicas must be fully caught up")
 
     sub.add_parser("info", help="version and capability summary")
     return parser
@@ -215,6 +229,10 @@ def _cmd_window(args: argparse.Namespace, out: TextIO) -> int:
 def _build_window_engine(args: argparse.Namespace, dim: int) -> WindowEngine:
     query_cache = args.query_cache == "on"
     if args.shards > 1:
+        # Negative --shard-replica-lag means "unbounded" (None).
+        lag = getattr(args, "shard_replica_lag", 0)
+        replica_lag = None if lag < 0 else lag
+        replicas = getattr(args, "shard_replicas", "auto")
         if args.band > 1:
             return ShardedKSkyband(
                 dim=dim,
@@ -225,6 +243,8 @@ def _build_window_engine(args: argparse.Namespace, dim: int) -> WindowEngine:
                 sanitize=args.sanitize,
                 query_cache=query_cache,
                 kernels=args.kernels,
+                replicas=replicas,
+                replica_lag=replica_lag,
             )
         return ShardedNofNSkyline(
             dim=dim,
@@ -234,6 +254,8 @@ def _build_window_engine(args: argparse.Namespace, dim: int) -> WindowEngine:
             sanitize=args.sanitize,
             query_cache=query_cache,
             kernels=args.kernels,
+            replicas=replicas,
+            replica_lag=replica_lag,
         )
     if args.band > 1:
         return KSkybandEngine(
@@ -278,6 +300,7 @@ def _cmd_info(out: TextIO) -> int:
     print(f"static algorithms: {', '.join(sorted(ALGORITHMS))}", file=out)
     print("engines: NofNSkyline, N1N2Skyline, TimeWindowSkyline", file=out)
     print(f"sharded backends: {', '.join(BACKENDS)}", file=out)
+    print(f"shard replicas: {', '.join(REPLICA_MODES)}", file=out)
     return 0
 
 

@@ -109,6 +109,10 @@ def _snapshot_sharded(
             "cache": router._query_cache,
             "kernels": router.kernel_policy,
         },
+        "replicas": {
+            "mode": router.replica_mode,
+            "lag": router.replica_lag,
+        },
         "sanitize": router.sanitize_mode,
     }
     if isinstance(router, ShardedKSkyband):
@@ -273,6 +277,7 @@ def _restore_sharded(
         sanitize=sanitize,
         **_rtree_kwargs(snap),
         **_query_kwargs(snap),
+        **_replica_kwargs(snap, chosen),
     )
     router: Union[ShardedNofNSkyline, ShardedKSkyband]
     if snap["kind"] == "sharded-skyband":
@@ -300,6 +305,27 @@ def _restore_sharded(
     router._m = seen
     _restore_stats(router, snap.get("stats"))
     return router
+
+
+def _replica_kwargs(snap: Dict[str, Any], backend: str) -> Dict[str, Any]:
+    """Replica knobs from a sharded snapshot.
+
+    Pre-replica snapshots lack the "replicas" key and restore with the
+    defaults.  A recorded ``mode="on"`` is downgraded to ``"auto"``
+    when the caller re-targets the snapshot at the serial backend —
+    the knob expresses a preference about a backend the restored
+    router may not use, not a hard requirement of the data.
+    """
+    raw = snap.get("replicas", {})
+    _require(isinstance(raw, dict), '"replicas" must be a dict when present')
+    mode = str(raw.get("mode", "auto"))
+    if mode == "on" and backend != "process":
+        mode = "auto"
+    lag = raw.get("lag", 0)
+    return {
+        "replicas": mode,
+        "replica_lag": None if lag is None else int(lag),
+    }
 
 
 def _rtree_kwargs(snap: Dict[str, Any]) -> Dict[str, Any]:

@@ -7,27 +7,46 @@ Public surface:
   routers with ``serial`` and ``process`` executor backends;
 * :func:`~repro.parallel.merge.merge_skyline` /
   :func:`~repro.parallel.merge.merge_skyband` — the exact merge steps;
+* the shared-memory stab-snapshot replicas of
+  :mod:`repro.parallel.replicas` — the process backend's zero-IPC
+  query read path;
 * the per-shard engines and executors, for tests and tooling.
 """
 
 from repro.parallel.executors import ProcessExecutor, SerialExecutor
 from repro.parallel.merge import merge_skyband, merge_skyline
+from repro.parallel.replicas import (
+    ReplicaPublisher,
+    ReplicaReader,
+    ReplicaSnapshot,
+    cleanup_replica_segments,
+)
 from repro.parallel.shard_engines import (
     ShardKSkybandEngine,
     ShardNofNEngine,
     build_shard_engine,
 )
-from repro.parallel.sharded import BACKENDS, ShardedKSkyband, ShardedNofNSkyline
+from repro.parallel.sharded import (
+    BACKENDS,
+    REPLICA_MODES,
+    ShardedKSkyband,
+    ShardedNofNSkyline,
+)
 
 __all__ = [
     "BACKENDS",
+    "REPLICA_MODES",
     "ProcessExecutor",
+    "ReplicaPublisher",
+    "ReplicaReader",
+    "ReplicaSnapshot",
     "SerialExecutor",
     "ShardKSkybandEngine",
     "ShardNofNEngine",
     "ShardedKSkyband",
     "ShardedNofNSkyline",
     "build_shard_engine",
+    "cleanup_replica_segments",
     "merge_skyband",
     "merge_skyline",
 ]

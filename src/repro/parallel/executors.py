@@ -19,14 +19,33 @@ reply the router reads, so it is attributed on the following query.
 
 from __future__ import annotations
 
+import atexit
+import os
 import traceback
+from functools import partial
 from multiprocessing import get_context
 from queue import Empty
 from time import monotonic
-from typing import TYPE_CHECKING, Any, Dict, List, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+from uuid import uuid4
 
 from repro.core.element import StreamElement
 from repro.exceptions import ShardFailureError
+from repro.parallel.replicas import (
+    ReplicaPublisher,
+    ReplicaReader,
+    cleanup_replica_segments,
+    replica_prefixes,
+)
 from repro.parallel.shard_engines import (
     ShardEngine,
     build_shard_engine,
@@ -40,16 +59,40 @@ if TYPE_CHECKING:
 
 BandReply = Tuple[List[List[StreamElement]], List[StreamElement]]
 
+#: Commands whose replies reflect engine state — the worker republishes
+#: its replica first, so a received reply *guarantees* the shard's
+#: replica is current as of that reply (the routers rely on this to
+#: serve the next query with zero IPC).
+_PUBLISH_BEFORE = frozenset(
+    {
+        "stabs",
+        "band",
+        "retained",
+        "introspect",
+        "records",
+        "check",
+        "ping",
+        "replica_check",
+    }
+)
+
 
 class SerialExecutor:
     """All shard engines in-process; the deterministic reference."""
 
     backend = "serial"
 
+    #: Serial shards have no replicas (there is no process boundary to
+    #: cross); the attribute exists so routers can probe either backend.
+    replica_readers: Optional[List[ReplicaReader]] = None
+
     def __init__(self, specs: Sequence[Dict[str, Any]]) -> None:
         self.engines: List[ShardEngine] = [
             build_shard_engine(spec) for spec in specs
         ]
+
+    def barrier(self) -> None:
+        """No-op: in-process ingestion is already synchronous."""
 
     def ingest(self, shard: int, element: StreamElement) -> None:
         self.engines[shard].ingest(element)
@@ -99,19 +142,52 @@ def _shard_worker(
     spec: Dict[str, Any],
     commands: "MPQueue[Tuple[Any, ...]]",
     results: "MPQueue[Tuple[str, Any]]",
+    replica_prefix: Optional[str] = None,
 ) -> None:
     """Worker loop: build the shard engine, serve commands until
-    ``stop`` or the first failure (whose traceback is shipped back)."""
+    ``stop`` or the first failure (whose traceback is shipped back).
+
+    With a ``replica_prefix`` the worker owns a
+    :class:`~repro.parallel.replicas.ReplicaPublisher` and republishes
+    its stab snapshot (a) whenever the command queue runs dry — so an
+    idle shard converges to a current replica without any request — and
+    (b) before answering any state-reflecting command, so every reply
+    certifies the replica as current (see ``_PUBLISH_BEFORE``).  The
+    publish is a version-checked no-op on a quiescent engine, which
+    keeps per-element backlog floods from paying O(n) republishes: a
+    burst of queued ingests publishes once, when the queue drains.
+    """
     try:
         engine = build_shard_engine(spec)
+        publisher = (
+            None if replica_prefix is None else ReplicaPublisher(replica_prefix)
+        )
+        if publisher is not None:
+            publisher.publish(engine)
     except Exception:
         results.put(("error", traceback.format_exc()))
         return
     while True:
-        command = commands.get()
+        try:
+            command = commands.get_nowait()
+        except Empty:
+            if publisher is not None:
+                try:
+                    publisher.publish(engine)
+                except Exception:
+                    results.put(("error", traceback.format_exc()))
+                    return
+            command = commands.get()
         op = command[0]
         try:
+            if publisher is not None and op in _PUBLISH_BEFORE:
+                publisher.publish(engine)
             if op == "stop":
+                if publisher is not None:
+                    # Detach only: the executor owns unlinking, so the
+                    # router can still read (and then clean up) the
+                    # final snapshot after a clean shutdown.
+                    publisher.close()
                 results.put(("ok", None))
                 return
             if op == "ingest":
@@ -136,6 +212,16 @@ def _shard_worker(
             elif op == "check":
                 engine.check_invariants()
                 results.put(("ok", None))
+            elif op == "ping":
+                results.put(("ok", None))
+            elif op == "replica_check":
+                reply = {
+                    "version": engine.structure_version,
+                    "seen": engine.seen_so_far,
+                    "answers": [engine.stab_elements(s) for s in command[1]],
+                    "retained": engine.retained_suffix(command[2]),
+                }
+                results.put(("ok", reply))
             else:
                 raise ValueError(f"unknown shard command: {op!r}")
         except Exception:
@@ -149,12 +235,24 @@ class ProcessExecutor:
     ``timeout`` bounds how long a reply may take once requested; it is
     generous because a reply is only awaited after the shard's pending
     ingest backlog (FIFO), which a large ``append_many`` can make long.
+
+    With ``replicas=True`` each worker additionally publishes its stab
+    snapshot into shared memory (:mod:`repro.parallel.replicas`) and
+    :attr:`replica_readers` holds one attached reader per shard — the
+    routers' zero-IPC read path.  The executor owns segment lifetime:
+    every segment is unlinked in :meth:`close` and, as a backstop,
+    from an ``atexit`` hook — the cleanup derives segment names from
+    the on-disk control blocks, so it works even after a worker was
+    killed outright.
     """
 
     backend = "process"
 
     def __init__(
-        self, specs: Sequence[Dict[str, Any]], timeout: float = 120.0
+        self,
+        specs: Sequence[Dict[str, Any]],
+        timeout: float = 120.0,
+        replicas: bool = False,
     ) -> None:
         if timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
@@ -163,12 +261,24 @@ class ProcessExecutor:
         self._commands: List["MPQueue[Tuple[Any, ...]]"] = []
         self._results: List["MPQueue[Tuple[str, Any]]"] = []
         self._processes: List["BaseProcess"] = []
-        for spec in specs:
+        self._cleanup: Optional[Callable[[], None]] = None
+        self.replica_readers: Optional[List[ReplicaReader]] = None
+        prefixes: List[Optional[str]] = [None] * len(specs)
+        if replicas:
+            token = f"{os.getpid():x}{uuid4().hex[:6]}"
+            owned = replica_prefixes(token, len(specs))
+            prefixes = list(owned)
+            # Registered before any worker starts: from here on the
+            # segments cannot outlive this process even on a hard exit.
+            self._cleanup = partial(cleanup_replica_segments, owned)
+            atexit.register(self._cleanup)
+            self.replica_readers = [ReplicaReader(p) for p in owned]
+        for spec, prefix in zip(specs, prefixes):
             command_queue: "MPQueue[Tuple[Any, ...]]" = context.Queue()
             result_queue: "MPQueue[Tuple[str, Any]]" = context.Queue()
             process = context.Process(
                 target=_shard_worker,
-                args=(dict(spec), command_queue, result_queue),
+                args=(dict(spec), command_queue, result_queue, prefix),
                 daemon=True,
             )
             process.start()
@@ -238,6 +348,20 @@ class ProcessExecutor:
     def check_all(self) -> None:
         self._roundtrip_all(("check",))
 
+    def barrier(self) -> None:
+        """Round-trip a no-op through every shard: on return, every
+        earlier fire-and-forget ingest has been applied (and, with
+        replicas on, republished)."""
+        self._roundtrip_all(("ping",))
+
+    def replica_check_all(
+        self, stabs: Sequence[float], witness_stab: float
+    ) -> List[Dict[str, Any]]:
+        """Authoritative per-shard answers for the sanitizer's
+        ``shard-replica`` cross-check; each worker republishes first,
+        so its reply and its replica describe the same version."""
+        return self._roundtrip_all(("replica_check", list(stabs), witness_stab))
+
     def close(self) -> None:
         """Stop the workers without ever blocking indefinitely."""
         for shard, process in enumerate(self._processes):
@@ -256,3 +380,22 @@ class ProcessExecutor:
         for result_queue in self._results:
             result_queue.cancel_join_thread()
             result_queue.close()
+        if self.replica_readers is not None:
+            for reader in self.replica_readers:
+                reader.close()
+            self.replica_readers = None
+        if self._cleanup is not None:
+            self._cleanup()
+            atexit.unregister(self._cleanup)
+            self._cleanup = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        # getattr: __init__ may have raised before _cleanup existed.
+        cleanup = getattr(self, "_cleanup", None)
+        if cleanup is not None:
+            self._cleanup = None
+            try:
+                atexit.unregister(cleanup)
+            except Exception:
+                pass
+            cleanup()

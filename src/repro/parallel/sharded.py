@@ -38,11 +38,17 @@ from repro.core.stats import EngineStats
 from repro.exceptions import DimensionMismatchError, InvalidWindowError
 from repro.parallel.executors import ProcessExecutor, SerialExecutor
 from repro.parallel.merge import merge_skyband, merge_skyline
+from repro.parallel.replicas import ReplicaSnapshot, pending_elements
 from repro.sanitize.sanitizer import InvariantSanitizer, SanitizeArg
 
 ShardBackend = Union[SerialExecutor, ProcessExecutor]
 
 BACKENDS = ("serial", "process")
+
+#: The ``replicas=`` knob: ``"auto"`` enables the shared-memory read
+#: path whenever the backend has a process boundary to short-circuit
+#: (i.e. ``"process"``), ``"on"`` requires it, ``"off"`` disables it.
+REPLICA_MODES = ("auto", "on", "off")
 
 
 class _ShardedRouter:
@@ -63,6 +69,8 @@ class _ShardedRouter:
         query_cache: bool = True,
         kernels: str = "auto",
         timeout: float = 120.0,
+        replicas: str = "auto",
+        replica_lag: Optional[int] = 0,
     ) -> None:
         if capacity < 1:
             raise InvalidWindowError(f"capacity must be >= 1, got {capacity}")
@@ -73,6 +81,19 @@ class _ShardedRouter:
         if backend not in BACKENDS:
             raise ValueError(
                 f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        if replicas not in REPLICA_MODES:
+            raise ValueError(
+                f"replicas must be one of {REPLICA_MODES}, got {replicas!r}"
+            )
+        if replicas == "on" and backend != "process":
+            raise ValueError(
+                "replicas='on' requires the process backend; the serial "
+                "backend has no process boundary to replicate across"
+            )
+        if replica_lag is not None and replica_lag < 0:
+            raise ValueError(
+                f"replica_lag must be >= 0 or None, got {replica_lag}"
             )
         self.dim = dim
         self.capacity = capacity
@@ -87,12 +108,24 @@ class _ShardedRouter:
         }
         self._query_cache = query_cache
         self._kernel_policy = kernels
+        self.replica_mode = replicas
+        self.replica_lag = replica_lag
+        self._replicas_enabled = (
+            backend == "process" and replicas != "off"
+        )
+        self._suppress_replicas = False
+        self._replica_serves = 0
+        self._replica_fallbacks = 0
+        self._replica_stale = 0
+        self._replica_unavailable = 0
         self.stats = EngineStats()
         specs = [self._shard_spec(index) for index in range(shards)]
         self._executor: ShardBackend = (
             SerialExecutor(specs)
             if backend == "serial"
-            else ProcessExecutor(specs, timeout=timeout)
+            else ProcessExecutor(
+                specs, timeout=timeout, replicas=self._replicas_enabled
+            )
         )
 
     def _shard_spec(self, index: int) -> Dict[str, Any]:
@@ -183,6 +216,47 @@ class _ShardedRouter:
             return None
         return max(1, self._m - n + 1)
 
+    def _replica_snapshots(self) -> Optional[List[ReplicaSnapshot]]:
+        """Consistent per-shard replica snapshots, or ``None`` when the
+        command-queue path must be used instead.
+
+        All-or-nothing: a single shard that is unavailable (nothing
+        published, control block gone, flip in progress) or stale beyond
+        ``replica_lag`` pending elements falls the whole query back to
+        IPC — mixing replica answers with authoritative ones would break
+        the merge's Theorem 1 containment argument, which needs every
+        shard's answer to cover its own sub-stream suffix.
+
+        ``replica_lag=0`` (the default) serves from replicas only when
+        every shard has absorbed its entire routed prefix — replica
+        answers are then bit-identical to the IPC path.  ``None`` means
+        unbounded staleness: always serve when available (a true read
+        replica, each answer exact at the version it claims).
+        """
+        if not self._replicas_enabled or self._suppress_replicas:
+            return None
+        readers = self._executor.replica_readers
+        if readers is None:  # pragma: no cover - enabled implies readers
+            return None
+        snapshots: List[ReplicaSnapshot] = []
+        for shard, reader in enumerate(readers):
+            snapshot = reader.read()
+            if snapshot is None:
+                self._replica_unavailable += 1
+                self._replica_fallbacks += 1
+                return None
+            if self.replica_lag is not None:
+                pending = pending_elements(
+                    snapshot.seen, self._m, shard, self.shards
+                )
+                if pending > self.replica_lag:
+                    self._replica_stale += 1
+                    self._replica_fallbacks += 1
+                    return None
+            snapshots.append(snapshot)
+        self._replica_serves += 1
+        return snapshots
+
     def _merged(self, stabs: Sequence[int]) -> List[List[StreamElement]]:
         """Fan the stab points out and merge, one fan-out round trip per
         shard regardless of ``len(stabs)``.  Overridden per engine."""
@@ -268,6 +342,45 @@ class _ShardedRouter:
             bundle["shard"] = index
         return bundles
 
+    def drain(self) -> None:
+        """Block until every shard has applied all prior fire-and-forget
+        ingests (and, with replicas on, republished its snapshot).  A
+        no-op on the serial backend; one ``ping`` round trip per shard
+        on the process backend.
+
+        Raises
+        ------
+        ShardFailureError
+            If a shard worker died or timed out (process backend).
+        """
+        self._executor.barrier()
+
+    def replica_stats(self) -> Optional[Dict[str, Any]]:
+        """Zero-IPC read-path counters, or ``None`` when replicas are
+        disabled (serial backend or ``replicas="off"``).
+
+        ``serves``/``fallbacks`` count fan-out rounds answered from the
+        shared-memory replicas vs routed through the command queues;
+        ``stale``/``unavailable`` break the fallbacks down by cause.
+        ``shards`` holds each reader's lifetime counters plus the
+        shard's currently published header fields.
+        """
+        if not self._replicas_enabled:
+            return None
+        readers = self._executor.replica_readers
+        per_shard = (
+            [] if readers is None else [reader.stats() for reader in readers]
+        )
+        return {
+            "enabled": True,
+            "lag": self.replica_lag,
+            "serves": self._replica_serves,
+            "fallbacks": self._replica_fallbacks,
+            "stale": self._replica_stale,
+            "unavailable": self._replica_unavailable,
+            "shards": per_shard,
+        }
+
     def cache_stats(self) -> Optional[Dict[str, int]]:
         """Aggregated stab-cache counters across shards (``None`` when
         caching is disabled)."""
@@ -338,12 +451,30 @@ class ShardedNofNSkyline(_ShardedRouter):
         (one worker per shard; see the module docstring).
     timeout:
         Process-backend reply deadline in seconds.
+    replicas:
+        Zero-IPC read path: ``"auto"`` (on whenever the backend is
+        ``"process"``), ``"on"`` (require it; rejects ``"serial"``) or
+        ``"off"``.  See :meth:`_ShardedRouter._replica_snapshots`.
+    replica_lag:
+        Maximum pending (routed but possibly unabsorbed) elements a
+        shard replica may trail by and still serve a query.  ``0``
+        (default) serves only fully caught-up replicas — answers are
+        bit-identical to the command-queue path; ``None`` means
+        unbounded (always serve when available, exact at the version
+        the replica claims).
     """
 
     _kind = "nofn"
 
     def _merged(self, stabs: Sequence[int]) -> List[List[StreamElement]]:
-        per_shard = self._executor.stabs_all(stabs)
+        snapshots = self._replica_snapshots()
+        if snapshots is not None:
+            per_shard: List[List[List[StreamElement]]] = [
+                [snapshot.stab(stab) for stab in stabs]
+                for snapshot in snapshots
+            ]
+        else:
+            per_shard = self._executor.stabs_all(stabs)
         return [
             merge_skyline([answers[i] for answers in per_shard])
             for i in range(len(stabs))
@@ -378,6 +509,8 @@ class ShardedKSkyband(_ShardedRouter):
         query_cache: bool = True,
         kernels: str = "auto",
         timeout: float = 120.0,
+        replicas: str = "auto",
+        replica_lag: Optional[int] = 0,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -394,6 +527,8 @@ class ShardedKSkyband(_ShardedRouter):
             query_cache=query_cache,
             kernels=kernels,
             timeout=timeout,
+            replicas=replicas,
+            replica_lag=replica_lag,
         )
 
     def _shard_spec(self, index: int) -> Dict[str, Any]:
@@ -403,7 +538,17 @@ class ShardedKSkyband(_ShardedRouter):
 
     def _merged(self, stabs: Sequence[int]) -> List[List[StreamElement]]:
         witness_stab = min(stabs)
-        replies = self._executor.band_all(stabs, witness_stab)
+        snapshots = self._replica_snapshots()
+        if snapshots is not None:
+            replies: List[Any] = [
+                (
+                    [snapshot.stab(stab) for stab in stabs],
+                    snapshot.retained_suffix(witness_stab),
+                )
+                for snapshot in snapshots
+            ]
+        else:
+            replies = self._executor.band_all(stabs, witness_stab)
         witnesses = [
             element for _, suffix in replies for element in suffix
         ]

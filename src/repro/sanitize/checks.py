@@ -39,6 +39,10 @@ The invariant catalogue (the ``invariant`` field of the report):
                     retained in-window elements (which provably equals
                     the single-engine answer; see
                     :mod:`repro.parallel.merge`)
+``shard-replica``   a shard's shared-memory replica
+                    (:mod:`repro.parallel.replicas`) answers stabs and
+                    retained suffixes identically to its authoritative
+                    worker engine at the same published version
 ================== ====================================================
 
 plus the structure-level invariants raised by the structures themselves
@@ -75,6 +79,7 @@ __all__ = [
     "verify_continuous",
     "verify_n1n2",
     "verify_nofn",
+    "verify_shard_replicas",
     "verify_sharded",
     "verify_skyband",
     "verify_timewindow",
@@ -824,6 +829,9 @@ def verify_sharded(router: "_ShardedRouter") -> None:
     m = router.seen_so_far
     if m == 0:
         return
+    # Replicas first: a corrupt replica would otherwise surface as a
+    # mysterious shard-merge mismatch when the merge serves from it.
+    verify_shard_replicas(router)
     k = int(getattr(router, "k", 1))
     for n in sorted({1, max(1, router.capacity // 2), router.capacity}):
         stab = max(1, m - n + 1)
@@ -841,5 +849,99 @@ def verify_sharded(router: "_ShardedRouter") -> None:
                 f"merged answer at stab {stab} (n={n}, k={k}) reported "
                 f"kappas {got}, the retained-union oracle gives "
                 f"{expected}",
+                engine=name,
+            )
+
+
+def verify_shard_replicas(router: "_ShardedRouter") -> None:
+    """Verify a router's shared-memory replicas against its workers.
+
+    Each worker republishes its replica immediately before answering a
+    ``replica_check`` command, and the router is single-threaded, so the
+    replica read here is guaranteed to be at the *same* version as the
+    worker's authoritative reply — the comparison is exact, not
+    best-effort.  Checks the stab answers at the same query sizes
+    :func:`verify_sharded` exercises, the retained witness suffix, and
+    the version/seen labelling itself.  A no-op when replicas are
+    disabled (serial backend or ``replicas="off"``).
+
+    Raises
+    ------
+    StructureCorruptionError
+        With invariant ``shard-replica`` on the first divergence.
+    """
+    from repro.parallel.executors import ProcessExecutor
+
+    if not getattr(router, "_replicas_enabled", False):
+        return
+    executor = router._executor
+    if not isinstance(executor, ProcessExecutor):  # pragma: no cover
+        return
+    readers = executor.replica_readers
+    if readers is None:  # pragma: no cover - enabled implies readers
+        return
+    name = type(router).__name__
+    m = router.seen_so_far
+    if m == 0:
+        return
+    stabs = sorted(
+        {
+            max(1, m - n + 1)
+            for n in (1, max(1, router.capacity // 2), router.capacity)
+        }
+    )
+    witness = min(stabs)
+    replies = executor.replica_check_all(stabs, witness)
+    for shard, reply in enumerate(replies):
+        snapshot = readers[shard].read()
+        if snapshot is None:
+            raise corruption(
+                "engine",
+                "shard-replica",
+                f"shard {shard} has no readable replica immediately "
+                f"after its worker republished (version "
+                f"{reply['version']})",
+                engine=name,
+            )
+        if snapshot.version != reply["version"] or (
+            snapshot.seen != reply["seen"]
+        ):
+            raise corruption(
+                "engine",
+                "shard-replica",
+                f"shard {shard} replica claims version "
+                f"{snapshot.version} (seen {snapshot.seen}) but the "
+                f"worker just published version {reply['version']} "
+                f"(seen {reply['seen']})",
+                engine=name,
+            )
+        for stab, authoritative in zip(stabs, reply["answers"]):
+            got = [(e.kappa, tuple(e.values)) for e in snapshot.stab(stab)]
+            want = [(e.kappa, tuple(e.values)) for e in authoritative]
+            if got != want:
+                raise corruption(
+                    "engine",
+                    "shard-replica",
+                    f"shard {shard} replica stab {stab} answered kappas "
+                    f"{[kappa for kappa, _ in got]}, the authoritative "
+                    f"worker answers {[kappa for kappa, _ in want]} at "
+                    f"the same version {reply['version']}",
+                    engine=name,
+                )
+        got_suffix = [
+            (e.kappa, tuple(e.values))
+            for e in snapshot.retained_suffix(witness)
+        ]
+        want_suffix = [
+            (e.kappa, tuple(e.values)) for e in reply["retained"]
+        ]
+        if got_suffix != want_suffix:
+            raise corruption(
+                "engine",
+                "shard-replica",
+                f"shard {shard} replica retained suffix at stab "
+                f"{witness} holds kappas "
+                f"{[kappa for kappa, _ in got_suffix]}, the worker "
+                f"reports {[kappa for kappa, _ in want_suffix]}",
                 engine=name,
             )

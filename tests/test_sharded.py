@@ -16,6 +16,7 @@ snapshot round-trip.
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -137,13 +138,24 @@ class TestSkybandParity:
             same_elements(router.skyband(), reference.skyband())
 
 
+#: Process-backend cases run with the zero-IPC replica read path both
+#: enabled (``auto``) and disabled (``off``).  ``REPRO_SHARD_REPLICAS``
+#: pins a single mode so CI can split the two into separate matrix
+#: legs (``on`` maps to ``auto``: replicas enabled on this backend).
+REPLICA_MODES = {"on": ("auto",), "off": ("off",)}.get(
+    os.environ.get("REPRO_SHARD_REPLICAS", ""), ("auto", "off")
+)
+
+
+@pytest.mark.parametrize("replicas", REPLICA_MODES)
 class TestProcessBackend:
-    def test_parity_and_introspection(self, rng):
+    def test_parity_and_introspection(self, rng, replicas):
         points = random_points(rng, 2, 120, grid=8)
         reference = NofNSkyline(dim=2, capacity=30)
         reference.append_many(points)
         with ShardedNofNSkyline(
-            dim=2, capacity=30, shards=3, backend="process", timeout=60.0
+            dim=2, capacity=30, shards=3, backend="process", timeout=60.0,
+            replicas=replicas,
         ) as router:
             router.append_many(points[:70])
             for p in points[70:]:
@@ -156,11 +168,21 @@ class TestProcessBackend:
             assert router.structure_version > 0
             cache = router.cache_stats()
             assert cache is not None and cache["misses"] > 0
-            router.check_invariants()
+            replica = router.replica_stats()
+            if replicas == "off":
+                assert replica is None
+            else:
+                # The first query fell back (replicas trailed the
+                # fire-and-forget ingest), which republished; the later
+                # queries must have served with zero IPC.
+                assert replica["serves"] >= 1
+                assert len(replica["shards"]) == 3
+            router.check_invariants()  # includes the shard-replica check
 
-    def test_worker_exception_surfaces_as_shard_failure(self):
+    def test_worker_exception_surfaces_as_shard_failure(self, replicas):
         router = ShardedNofNSkyline(
-            dim=2, capacity=10, shards=2, backend="process", timeout=30.0
+            dim=2, capacity=10, shards=2, backend="process", timeout=30.0,
+            replicas=replicas,
         )
         try:
             router.append((0.1, 0.2))
@@ -168,30 +190,45 @@ class TestProcessBackend:
             # validation makes the worker's ingest raise and exit.
             router._executor.ingest(0, StreamElement((1.0, 2.0, 3.0), 99))
             with pytest.raises(ShardFailureError) as excinfo:
-                router.query(5)
+                # With replicas on, a caught-up replica can legitimately
+                # keep answering reads; drain() is an IPC round trip on
+                # both configurations, so the shipped error always
+                # surfaces here.
+                router.drain()
             assert excinfo.value.shard == 0
         finally:
             router.close()
 
-    def test_dead_worker_surfaces_without_hanging(self):
+    def test_dead_worker_surfaces_without_hanging(self, replicas):
         router = ShardedNofNSkyline(
-            dim=2, capacity=10, shards=2, backend="process", timeout=30.0
+            dim=2, capacity=10, shards=2, backend="process", timeout=30.0,
+            replicas=replicas,
         )
         try:
             router.append((0.1, 0.2))
-            router.query(5)  # workers proven alive
+            router.query(5)  # workers proven alive (and replicas fresh)
             router._executor._processes[1].terminate()
             router._executor._processes[1].join(timeout=10.0)
+            if replicas == "auto":
+                # Read availability: the dead shard's replica is still
+                # fully caught up, so reads keep answering with zero IPC.
+                assert [e.kappa for e in router.query(5)] == [1]
+                # Route a new element to the dead shard: its replica now
+                # trails and the query must fall back — surfacing the
+                # death instead of silently serving stale state.
+                router.append((0.2, 0.1))  # kappa 2 -> shard 1
             with pytest.raises(ShardFailureError, match="died"):
                 router.query(5)
         finally:
             router.close()
 
-    def test_close_is_idempotent_and_reentrant(self):
+    def test_close_is_idempotent_and_reentrant(self, replicas):
         router = ShardedNofNSkyline(
-            dim=2, capacity=10, shards=2, backend="process", timeout=30.0
+            dim=2, capacity=10, shards=2, backend="process", timeout=30.0,
+            replicas=replicas,
         )
         router.append((0.3, 0.7))
+        router.query(5)
         router.close()
         router.close()
 
@@ -204,6 +241,15 @@ class TestValidationAndGuards:
             ShardedNofNSkyline(dim=2, capacity=10, backend="threads")
         with pytest.raises(ValueError):
             ShardedKSkyband(dim=2, capacity=10, k=0)
+        with pytest.raises(ValueError):
+            ShardedNofNSkyline(dim=2, capacity=10, replicas="maybe")
+        with pytest.raises(ValueError):
+            # Replicas require a process boundary to replicate across.
+            ShardedNofNSkyline(
+                dim=2, capacity=10, backend="serial", replicas="on"
+            )
+        with pytest.raises(ValueError):
+            ShardedNofNSkyline(dim=2, capacity=10, replica_lag=-1)
 
     def test_append_many_is_all_or_nothing(self):
         with ShardedNofNSkyline(dim=2, capacity=10, shards=3) as router:
@@ -298,6 +344,25 @@ class TestPersistence:
                 assert clone.k == 3
                 for n in (1, 6, 12):
                     same_elements(clone.query(n), band.query(n))
+
+    def test_replica_knobs_round_trip(self, rng):
+        with ShardedNofNSkyline(
+            dim=2, capacity=10, shards=2, backend="process",
+            replicas="on", replica_lag=None,
+        ) as router:
+            router.append_many(random_points(rng, 2, 20, grid=5))
+            snap = snapshot(router)
+            assert snap["replicas"] == {"mode": "on", "lag": None}
+            with restore(snap) as clone:
+                assert clone.replica_mode == "on"
+                assert clone.replica_lag is None
+                for n in (1, 10):
+                    same_elements(clone.query(n), router.query(n))
+            # Re-targeting the snapshot at the serial backend downgrades
+            # "on" to "auto" instead of refusing to restore.
+            with restore(snap, backend="serial") as serial_clone:
+                assert serial_clone.replica_mode == "auto"
+                assert serial_clone.replica_stats() is None
 
     def test_growth_continues_after_restore(self, rng):
         points = random_points(rng, 2, 60, grid=7)
