@@ -23,6 +23,7 @@ themselves survive ``-O``.
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 
@@ -36,6 +37,7 @@ from repro import (
 from repro.core.element import StreamElement
 from repro.exceptions import ShardFailureError, StructureCorruptionError
 from repro.parallel import ShardedKSkyband, ShardedNofNSkyline
+from repro.structures.rtree_soa import LAYOUT_ENV, RTREE_LAYOUTS
 
 
 def check(condition: bool, message: str) -> None:
@@ -232,7 +234,17 @@ def main() -> int:
              "process backend also proves the shared-memory replica "
              "read path answered queries (default both)",
     )
+    parser.add_argument(
+        "--rtree-layout", default="auto", choices=list(RTREE_LAYOUTS),
+        help="pin the R-tree layout for every engine in the pass "
+             "(set via the REPRO_RTREE_LAYOUT resolution env, so it "
+             "also reaches the sharded workers); default auto",
+    )
     args = parser.parse_args()
+    if args.rtree_layout != "auto":
+        # The env override reaches every "auto"-constructed engine in
+        # this pass, including shard workers built from picklable specs.
+        os.environ[LAYOUT_ENV] = args.rtree_layout
     smoke_nofn(args.sanitize)
     smoke_timewindow(args.sanitize)
     smoke_n1n2(args.sanitize)
@@ -253,7 +265,8 @@ def main() -> int:
         if args.shards else ""
     )
     print(f"smoke_optimized: all engines OK "
-          f"[{mode}, sanitize={args.sanitize}{sharded}]")
+          f"[{mode}, sanitize={args.sanitize}{sharded}, "
+          f"rtree-layout={args.rtree_layout}]")
     return 0
 
 

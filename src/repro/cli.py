@@ -38,6 +38,7 @@ from repro.baselines import (
     sfs_skyline,
 )
 from repro.accel.rtree_kernels import KERNEL_POLICIES
+from repro.structures.rtree_soa import RTREE_LAYOUTS
 from repro.bench.reporting import format_percent, format_rate
 from repro.core.nofn import NofNSkyline
 from repro.core.skyband import KSkybandEngine
@@ -115,6 +116,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="NumPy leaf kernels for the R-tree's dominance "
                           "searches: auto uses them when NumPy is "
                           "importable, off forces the pure-Python paths "
+                          "(default auto)")
+    win.add_argument("--rtree-layout", default="auto",
+                     choices=list(RTREE_LAYOUTS),
+                     help="R-tree storage layout: soa keeps points in "
+                          "pooled NumPy arrays (vectorized maintenance "
+                          "searches), pointer is the classic node tree; "
+                          "auto picks soa when NumPy is importable "
                           "(default auto)")
     win.add_argument("--shards", type=int, default=1, metavar="S",
                      help="shard the stream round-robin across S engines "
@@ -243,6 +251,7 @@ def _build_window_engine(args: argparse.Namespace, dim: int) -> WindowEngine:
                 sanitize=args.sanitize,
                 query_cache=query_cache,
                 kernels=args.kernels,
+                rtree_layout=args.rtree_layout,
                 replicas=replicas,
                 replica_lag=replica_lag,
             )
@@ -254,6 +263,7 @@ def _build_window_engine(args: argparse.Namespace, dim: int) -> WindowEngine:
             sanitize=args.sanitize,
             query_cache=query_cache,
             kernels=args.kernels,
+            rtree_layout=args.rtree_layout,
             replicas=replicas,
             replica_lag=replica_lag,
         )
@@ -265,6 +275,7 @@ def _build_window_engine(args: argparse.Namespace, dim: int) -> WindowEngine:
             sanitize=args.sanitize,
             query_cache=query_cache,
             kernels=args.kernels,
+            rtree_layout=args.rtree_layout,
         )
     return NofNSkyline(
         dim=dim,
@@ -272,6 +283,7 @@ def _build_window_engine(args: argparse.Namespace, dim: int) -> WindowEngine:
         sanitize=args.sanitize,
         query_cache=query_cache,
         kernels=args.kernels,
+        rtree_layout=args.rtree_layout,
     )
 
 
@@ -301,6 +313,7 @@ def _cmd_info(out: TextIO) -> int:
     print("engines: NofNSkyline, N1N2Skyline, TimeWindowSkyline", file=out)
     print(f"sharded backends: {', '.join(BACKENDS)}", file=out)
     print(f"shard replicas: {', '.join(REPLICA_MODES)}", file=out)
+    print(f"rtree layouts: {', '.join(RTREE_LAYOUTS)}", file=out)
     return 0
 
 

@@ -49,7 +49,7 @@ from repro.exceptions import (
 )
 from repro.sanitize.sanitizer import InvariantSanitizer, SanitizeArg
 from repro.structures.interval_tree import IntervalHandle, IntervalTree
-from repro.structures.rtree import RTree
+from repro.structures.rtree_soa import make_rtree
 
 
 class _WindowRecord:
@@ -88,7 +88,7 @@ class N1N2Skyline:
         Runtime invariant checking: ``"off"`` (default), ``"sampled"``,
         ``"full"``, or a shared
         :class:`~repro.sanitize.InvariantSanitizer`.
-    query_cache / kernels:
+    query_cache / kernels / rtree_layout:
         Query fast-path knobs (see
         :class:`~repro.core.nofn.NofNSkyline`).  Each interval tree
         (``I_RN`` and ``I_RN-``) gets its own versioned stab cache; the
@@ -112,6 +112,7 @@ class N1N2Skyline:
         sanitize: SanitizeArg = "off",
         query_cache: bool = True,
         kernels: str = "auto",
+        rtree_layout: str = "auto",
     ) -> None:
         if capacity < 1:
             raise InvalidWindowError(f"capacity must be >= 1, got {capacity}")
@@ -124,14 +125,16 @@ class N1N2Skyline:
         self._records: Dict[int, _WindowRecord] = {}
         self._live = IntervalTree()  # I_RN   (b = infinity)
         self._superseded = IntervalTree()  # I_RN- (finite b)
-        self._rtree = RTree(
+        self._rtree = make_rtree(
             dim,
             max_entries=rtree_max_entries,
             min_entries=rtree_min_entries,
             split=rtree_split,
             kernels=kernels,
+            layout=rtree_layout,
         )
         self._kernel_policy = kernels
+        self._rtree_layout = rtree_layout
         self._live_cache: Optional[StabCache[_WindowRecord]] = (
             StabCache(self._live) if query_cache else None
         )
@@ -482,6 +485,13 @@ class N1N2Skyline:
     def kernel_policy(self) -> str:
         """The ``kernels`` knob this engine was built with."""
         return self._kernel_policy
+
+    @property
+    def rtree_layout(self) -> str:
+        """The ``rtree_layout`` knob this engine was built with (the
+        requested policy; the effective layout is
+        ``engine._rtree.layout``)."""
+        return self._rtree_layout
 
     def cache_stats(self) -> Optional[Dict[str, int]]:
         """Combined hit/miss/rebuild counters of the two stab caches

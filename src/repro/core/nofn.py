@@ -49,7 +49,7 @@ from repro.exceptions import (
 from repro.sanitize.sanitizer import InvariantSanitizer, SanitizeArg
 from repro.structures.interval_tree import IntervalHandle, IntervalTree
 from repro.structures.labelset import LabelSet
-from repro.structures.rtree import RTree
+from repro.structures.rtree_soa import make_rtree
 
 
 class _Record:
@@ -100,7 +100,15 @@ class NofNSkyline:
         answers are always identical to the uncached path.
     kernels:
         Vectorised R-tree leaf-search policy (``"auto"``/``"on"``/
-        ``"off"``), forwarded to :class:`~repro.structures.rtree.RTree`.
+        ``"off"``), forwarded to :class:`~repro.structures.rtree.RTree`
+        (only meaningful for the pointer layout; the SoA layout is
+        always vectorised).
+    rtree_layout:
+        Dominance-index layout: ``"auto"`` (struct-of-arrays when NumPy
+        is importable, honouring the ``REPRO_RTREE_LAYOUT`` environment
+        override — the default), ``"soa"`` or ``"pointer"``.  See
+        :mod:`repro.structures.rtree_soa`; both layouts answer every
+        search identically (property-tested).
 
     Notes
     -----
@@ -120,6 +128,7 @@ class NofNSkyline:
         sanitize: SanitizeArg = "off",
         query_cache: bool = True,
         kernels: str = "auto",
+        rtree_layout: str = "auto",
     ) -> None:
         if capacity < 1:
             raise InvalidWindowError(f"capacity must be >= 1, got {capacity}")
@@ -132,14 +141,16 @@ class NofNSkyline:
         self._records: Dict[int, _Record] = {}
         self._labels: LabelSet[_Record] = LabelSet()
         self._intervals: IntervalTree[_Record] = IntervalTree()
-        self._rtree = RTree(
+        self._rtree = make_rtree(
             dim,
             max_entries=rtree_max_entries,
             min_entries=rtree_min_entries,
             split=rtree_split,
             kernels=kernels,
+            layout=rtree_layout,
         )
         self._kernel_policy = kernels
+        self._rtree_layout = rtree_layout
         # Memoized answers come back pre-sorted in query order, so the
         # cached query path never re-sorts.
         self._stab_cache: Optional[StabCache[_Record]] = (
@@ -624,6 +635,13 @@ class NofNSkyline:
     def kernel_policy(self) -> str:
         """The ``kernels`` knob this engine was built with."""
         return self._kernel_policy
+
+    @property
+    def rtree_layout(self) -> str:
+        """The ``rtree_layout`` knob this engine was built with (the
+        requested policy; the effective layout is
+        ``engine._rtree.layout``)."""
+        return self._rtree_layout
 
     def cache_stats(self) -> Optional[Dict[str, int]]:
         """Hit/miss/rebuild counters of the query cache (``None`` when

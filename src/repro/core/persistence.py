@@ -104,6 +104,7 @@ def _snapshot_sharded(
             "max_entries": router._rtree_config["rtree_max_entries"],
             "min_entries": router._rtree_config["rtree_min_entries"],
             "split": router._rtree_config["rtree_split"],
+            "layout": router._rtree_config["rtree_layout"],
         },
         "query": {
             "cache": router._query_cache,
@@ -160,6 +161,7 @@ def _rtree_config(engine: Union[NofNSkyline, N1N2Skyline]) -> Dict[str, Any]:
         "max_entries": int(getattr(index, "max_entries", 12)),
         "min_entries": int(getattr(index, "min_entries", 4)),
         "split": str(getattr(index, "split_policy", "quadratic")),
+        "layout": str(getattr(index, "layout_policy", "auto")),
     }
 
 
@@ -340,6 +342,9 @@ def _rtree_kwargs(snap: Dict[str, Any]) -> Dict[str, Any]:
         "rtree_max_entries": int(raw.get("max_entries", 12)),
         "rtree_min_entries": int(raw.get("min_entries", 4)),
         "rtree_split": str(raw.get("split", "quadratic")),
+        # Pre-SoA snapshots lack the key and restore with "auto", which
+        # resolves the same way a fresh construction would.
+        "rtree_layout": str(raw.get("layout", "auto")),
     }
 
 

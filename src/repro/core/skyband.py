@@ -59,7 +59,7 @@ from repro.exceptions import (
 from repro.sanitize.sanitizer import InvariantSanitizer, SanitizeArg
 from repro.structures.interval_tree import IntervalHandle, IntervalTree
 from repro.structures.labelset import LabelSet
-from repro.structures.rtree import RTree
+from repro.structures.rtree_soa import make_rtree
 
 
 class _BandRecord:
@@ -98,11 +98,12 @@ class KSkybandEngine:
         Runtime invariant checking: ``"off"`` (default), ``"sampled"``,
         ``"full"``, or a shared
         :class:`~repro.sanitize.InvariantSanitizer`.
-    query_cache / kernels:
+    query_cache / kernels / rtree_layout:
         Query fast-path knobs (see
         :class:`~repro.core.nofn.NofNSkyline`): the versioned stab
-        cache behind :meth:`query`, and the vectorised R-tree
-        leaf-search policy.
+        cache behind :meth:`query`, the vectorised R-tree leaf-search
+        policy, and the dominance-index layout
+        (``"auto"``/``"soa"``/``"pointer"``).
     """
 
     def __init__(
@@ -116,6 +117,7 @@ class KSkybandEngine:
         sanitize: SanitizeArg = "off",
         query_cache: bool = True,
         kernels: str = "auto",
+        rtree_layout: str = "auto",
     ) -> None:
         if capacity < 1:
             raise InvalidWindowError(f"capacity must be >= 1, got {capacity}")
@@ -131,14 +133,16 @@ class KSkybandEngine:
         self._records: Dict[int, _BandRecord] = {}
         self._labels: LabelSet[_BandRecord] = LabelSet()
         self._intervals: IntervalTree[_BandRecord] = IntervalTree()
-        self._rtree = RTree(
+        self._rtree = make_rtree(
             dim,
             max_entries=rtree_max_entries,
             min_entries=rtree_min_entries,
             split=rtree_split,
             kernels=kernels,
+            layout=rtree_layout,
         )
         self._kernel_policy = kernels
+        self._rtree_layout = rtree_layout
         # Memoized answers come back pre-sorted in query order, so the
         # cached query path never re-sorts.
         self._stab_cache: Optional[StabCache[_BandRecord]] = (
@@ -522,6 +526,13 @@ class KSkybandEngine:
     def kernel_policy(self) -> str:
         """The ``kernels`` knob this engine was built with."""
         return self._kernel_policy
+
+    @property
+    def rtree_layout(self) -> str:
+        """The ``rtree_layout`` knob this engine was built with (the
+        requested policy; the effective layout is
+        ``engine._rtree.layout``)."""
+        return self._rtree_layout
 
     def cache_stats(self) -> Optional[Dict[str, int]]:
         """Hit/miss/rebuild counters of the query cache (``None`` when

@@ -45,7 +45,7 @@ class TimeWindowSkyline(NofNSkyline):
     sanitize:
         Runtime invariant checking, forwarded verbatim (see
         :mod:`repro.sanitize`).
-    query_cache / kernels:
+    query_cache / kernels / rtree_layout:
         Query fast-path knobs, forwarded verbatim (see
         :class:`~repro.core.nofn.NofNSkyline`); :meth:`query_last`
         answers through the versioned stab cache when enabled.
@@ -61,6 +61,7 @@ class TimeWindowSkyline(NofNSkyline):
         sanitize: SanitizeArg = "off",
         query_cache: bool = True,
         kernels: str = "auto",
+        rtree_layout: str = "auto",
     ) -> None:
         if horizon <= 0:
             raise InvalidWindowError(f"horizon must be positive, got {horizon}")
@@ -74,6 +75,7 @@ class TimeWindowSkyline(NofNSkyline):
             sanitize=sanitize,
             query_cache=query_cache,
             kernels=kernels,
+            rtree_layout=rtree_layout,
         )
         self.horizon = float(horizon)
         self._now = 0.0

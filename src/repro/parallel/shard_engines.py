@@ -65,6 +65,7 @@ class ShardNofNEngine(NofNSkyline):
         sanitize: SanitizeArg = "off",
         query_cache: bool = True,
         kernels: str = "auto",
+        rtree_layout: str = "auto",
     ) -> None:
         if stride < 1:
             raise ValueError(f"stride must be >= 1, got {stride}")
@@ -77,6 +78,7 @@ class ShardNofNEngine(NofNSkyline):
             sanitize=sanitize,
             query_cache=query_cache,
             kernels=kernels,
+            rtree_layout=rtree_layout,
         )
         self._stride = stride
 
@@ -188,6 +190,7 @@ class ShardKSkybandEngine(KSkybandEngine):
         sanitize: SanitizeArg = "off",
         query_cache: bool = True,
         kernels: str = "auto",
+        rtree_layout: str = "auto",
     ) -> None:
         if stride < 1:
             raise ValueError(f"stride must be >= 1, got {stride}")
@@ -201,6 +204,7 @@ class ShardKSkybandEngine(KSkybandEngine):
             sanitize=sanitize,
             query_cache=query_cache,
             kernels=kernels,
+            rtree_layout=rtree_layout,
         )
         self._stride = stride
 
@@ -310,6 +314,9 @@ def build_shard_engine(spec: Mapping[str, Any]) -> ShardEngine:
         "rtree_max_entries": spec["rtree_max_entries"],
         "rtree_min_entries": spec["rtree_min_entries"],
         "rtree_split": spec["rtree_split"],
+        # Older specs (pre-SoA snapshots) lack the layout key; "auto"
+        # preserves their behaviour under the new default resolution.
+        "rtree_layout": spec.get("rtree_layout", "auto"),
         "sanitize": spec["sanitize"],
         "query_cache": spec["query_cache"],
         "kernels": spec["kernels"],

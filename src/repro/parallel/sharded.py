@@ -71,6 +71,7 @@ class _ShardedRouter:
         timeout: float = 120.0,
         replicas: str = "auto",
         replica_lag: Optional[int] = 0,
+        rtree_layout: str = "auto",
     ) -> None:
         if capacity < 1:
             raise InvalidWindowError(f"capacity must be >= 1, got {capacity}")
@@ -105,6 +106,7 @@ class _ShardedRouter:
             "rtree_max_entries": rtree_max_entries,
             "rtree_min_entries": rtree_min_entries,
             "rtree_split": rtree_split,
+            "rtree_layout": rtree_layout,
         }
         self._query_cache = query_cache
         self._kernel_policy = kernels
@@ -140,6 +142,7 @@ class _ShardedRouter:
             "rtree_max_entries": self._rtree_config["rtree_max_entries"],
             "rtree_min_entries": self._rtree_config["rtree_min_entries"],
             "rtree_split": self._rtree_config["rtree_split"],
+            "rtree_layout": self._rtree_config["rtree_layout"],
             "sanitize": self.sanitize_mode,
             "query_cache": self._query_cache,
             "kernels": self._kernel_policy,
@@ -315,6 +318,12 @@ class _ShardedRouter:
     def kernel_policy(self) -> str:
         """The ``kernels`` knob the shard engines were built with."""
         return self._kernel_policy
+
+    @property
+    def rtree_layout(self) -> str:
+        """The ``rtree_layout`` knob the shard engines were built with
+        (the requested policy; each shard resolves ``"auto"`` itself)."""
+        return str(self._rtree_config["rtree_layout"])
 
     @property
     def structure_version(self) -> int:
@@ -511,6 +520,7 @@ class ShardedKSkyband(_ShardedRouter):
         timeout: float = 120.0,
         replicas: str = "auto",
         replica_lag: Optional[int] = 0,
+        rtree_layout: str = "auto",
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -529,6 +539,7 @@ class ShardedKSkyband(_ShardedRouter):
             timeout=timeout,
             replicas=replicas,
             replica_lag=replica_lag,
+            rtree_layout=rtree_layout,
         )
 
     def _shard_spec(self, index: int) -> Dict[str, Any]:

@@ -6,6 +6,9 @@ Everything here is self-contained and paper-faithful:
 * :mod:`repro.structures.interval_tree` — dynamic stabbing-query tree;
 * :mod:`repro.structures.rtree` — in-memory R-tree with the paper's
   depth-first dominance reporting and best-first dominator search;
+* :mod:`repro.structures.rtree_soa` — struct-of-arrays rebuild of the
+  same search surface (pooled NumPy matrices, blocks as index ranges)
+  plus the ``rtree_layout`` factory the engines construct through;
 * :mod:`repro.structures.heap` — indexed min/max heaps (trigger lists);
 * :mod:`repro.structures.mbr` — bounding-box algebra incl. Figure 7's
   candidate-region tests;
@@ -18,6 +21,13 @@ from repro.structures.labelset import LabelSet
 from repro.structures.mbr import MBR
 from repro.structures.rbtree import RedBlackTree
 from repro.structures.rtree import RTree, RTreeEntry
+from repro.structures.rtree_soa import (
+    RTREE_LAYOUTS,
+    SoAEntry,
+    SoARTree,
+    make_rtree,
+    resolve_rtree_layout,
+)
 
 __all__ = [
     "IndexedHeap",
@@ -31,4 +41,9 @@ __all__ = [
     "RedBlackTree",
     "RTree",
     "RTreeEntry",
+    "RTREE_LAYOUTS",
+    "SoAEntry",
+    "SoARTree",
+    "make_rtree",
+    "resolve_rtree_layout",
 ]

@@ -1,0 +1,888 @@
+"""Struct-of-arrays dominance index over ``R_N`` (the SoA R-tree).
+
+The pointer R-tree (:mod:`repro.structures.rtree`) spends its ingest
+budget on Python object walks: every arrival runs a dominance removal,
+a critical-dominator search and an insert, and each of those touches
+dozens of ``_Node``/``RTreeEntry`` objects plus per-leaf ``LeafKernel``
+caches that the very next structural change invalidates.  The profile
+in ROADMAP.md (d=5 ingest at ~1.3 ms/element, kernels *neutral to
+negative*) says the fix is structural, not micro-tuning.
+
+This module rebuilds the same search surface on a struct-of-arrays
+layout:
+
+* all points live in one pooled ``(rows, dim)`` float64 matrix with a
+  parallel ``(rows,)`` int64 kappa vector;
+* a "node" is a **block** — an index range ``[b*B, b*B + len_b)`` into
+  the pooled arrays, with live rows kept contiguous by swap-with-last
+  deletion;
+* per-block summaries (lower/upper corner, ``max_kappa``) are stored as
+  small NumPy matrices of their own, so the Figure 7 candidate-region
+  tests run over *all* blocks in one broadcasted comparison, and each
+  surviving block is answered by one reduction over its slice.
+
+``report_dominated`` / ``remove_dominated`` / ``max_kappa_dominator``
+therefore do two vectorised passes (block mask, then per-block slice
+reduction) instead of a per-entry Python walk — and there is no kernel
+cache to invalidate, because the pooled matrix *is* the structure.
+
+Expiry is batched by design: :meth:`SoARTree.delete` is an O(1) swap
+that marks the block's summary dirty, and summaries are re-derived
+lazily (:meth:`SoARTree._refresh`) at the start of the next search, so
+a window slide that expires E elements costs one summary recompute per
+touched block instead of E rebalances.  Stale summaries are only ever
+*conservative* supersets (deletion shrinks the true box, insertion
+extends the stored box), so pruning stays sound in between refreshes.
+
+The pointer tree remains available behind the ``rtree_layout`` knob
+(``"auto"``/``"soa"``/``"pointer"``); :func:`make_rtree` is the single
+construction point used by every engine, and the two layouts are
+property-tested for exact parity.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+try:  # pragma: no cover - exercised only without NumPy installed
+    import numpy as _np
+except ImportError:  # pragma: no cover - NumPy is optional
+    _np = None  # type: ignore[assignment]
+
+from repro.accel.rtree_kernels import HAVE_NUMPY, resolve_kernel_policy
+from repro.exceptions import (
+    DimensionMismatchError,
+    DuplicateKeyError,
+    KeyNotFoundError,
+    corruption,
+)
+from repro.structures.rtree import (
+    DEFAULT_MAX_ENTRIES,
+    DEFAULT_MIN_ENTRIES,
+    RTree,
+)
+
+Point = Tuple[float, ...]
+
+#: Legal values of the ``rtree_layout`` knob.
+RTREE_LAYOUTS = ("auto", "soa", "pointer")
+
+#: Environment override consulted by ``rtree_layout="auto"`` — the CI
+#: matrix mechanism (mirrors ``REPRO_SHARD_REPLICAS``).
+LAYOUT_ENV = "REPRO_RTREE_LAYOUT"
+
+#: Fraction below which average block occupancy triggers a repack.
+_REPACK_OCCUPANCY = 0.35
+
+#: Fill fraction a repack packs blocks to (headroom for new inserts).
+_REPACK_FILL = 0.75
+
+
+def resolve_rtree_layout(layout: str) -> str:
+    """Map an ``rtree_layout`` knob value to the effective layout.
+
+    ``"auto"`` consults the :data:`LAYOUT_ENV` environment variable
+    (``soa``/``pointer``/``auto``) and otherwise prefers ``"soa"``
+    whenever NumPy is importable.  ``"soa"`` without NumPy degrades to
+    ``"pointer"`` with no error, like the kernels ``"on"`` policy.
+
+    Raises
+    ------
+    ValueError
+        If ``layout`` (or a non-empty :data:`LAYOUT_ENV`) is not one of
+        :data:`RTREE_LAYOUTS`.
+    """
+    if layout not in RTREE_LAYOUTS:
+        raise ValueError(
+            f"rtree_layout must be one of {RTREE_LAYOUTS}, got {layout!r}"
+        )
+    if layout == "auto":
+        env = os.environ.get(LAYOUT_ENV, "").strip().lower()
+        if env and env not in RTREE_LAYOUTS:
+            raise ValueError(
+                f"{LAYOUT_ENV} must be one of {RTREE_LAYOUTS}, got {env!r}"
+            )
+        layout = env if env in ("soa", "pointer") else "soa"
+    if layout == "soa" and not HAVE_NUMPY:
+        return "pointer"
+    return layout
+
+
+class SoAEntry:
+    """A stored record: a point, its arrival label and a payload.
+
+    ``row`` is the entry's current index into the pooled arrays; it
+    changes under swap-with-last deletion and repacking, and is ``-1``
+    once the entry has been removed.
+    """
+
+    __slots__ = ("point", "kappa", "data", "row")
+
+    def __init__(self, point: Point, kappa: int, data: Any) -> None:
+        self.point = point
+        self.kappa = kappa
+        self.data = data
+        self.row = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SoAEntry(kappa={self.kappa}, point={self.point})"
+
+
+class SoARTree:
+    """Struct-of-arrays dominance index with the R-tree search surface.
+
+    Drop-in for :class:`~repro.structures.rtree.RTree` everywhere the
+    engines use it (same constructor knobs, same methods, same
+    corruption check ids); requires NumPy — :func:`make_rtree` handles
+    the fallback.
+
+    Parameters
+    ----------
+    dim:
+        Dimensionality of stored points.
+    max_entries / min_entries:
+        Accepted for interface parity (persisted and surfaced like the
+        pointer tree's); the block capacity is derived from
+        ``max_entries`` so tuning carries over proportionally.
+    split:
+        Accepted and recorded for parity (``"quadratic"``/``"rstar"``);
+        blocks split by median along the widest axis regardless.
+    kernels:
+        Accepted, validated and recorded for parity; the SoA layout is
+        always vectorised.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        min_entries: int = DEFAULT_MIN_ENTRIES,
+        split: str = "quadratic",
+        kernels: str = "auto",
+        block_capacity: Optional[int] = None,
+    ) -> None:
+        if _np is None:
+            raise RuntimeError(
+                "SoARTree requires NumPy; use rtree_layout='pointer'"
+            )
+        if dim < 1:
+            raise ValueError(f"dimension must be positive, got {dim}")
+        if not 2 <= min_entries <= max_entries // 2:
+            raise ValueError(
+                f"need 2 <= min_entries <= max_entries // 2, got "
+                f"min={min_entries}, max={max_entries}"
+            )
+        if split not in ("quadratic", "rstar"):
+            raise ValueError(
+                f"split must be 'quadratic' or 'rstar', got {split!r}"
+            )
+        resolve_kernel_policy(kernels)  # validate; SoA always vectorises
+        self.dim = dim
+        self.max_entries = max_entries
+        self.min_entries = min_entries
+        self.split_policy = split
+        self.kernel_policy = kernels
+        self.layout = "soa"
+        self.layout_policy = "soa"
+        if block_capacity is None:
+            block_capacity = max(32, 4 * max_entries)
+        if block_capacity < 2:
+            raise ValueError(
+                f"block_capacity must be >= 2, got {block_capacity}"
+            )
+        self.block_capacity = block_capacity
+        #: Blocks expanded by the most recent ``report_dominated`` call
+        #: (instrumentation, mirrors the pointer tree's counter).
+        self.last_report_visits = 0
+        blocks = 4
+        rows = blocks * block_capacity
+        self._points = _np.zeros((rows, dim), dtype=_np.float64)
+        self._kappas = _np.full(rows, -1, dtype=_np.int64)
+        self._rows: List[Optional[SoAEntry]] = [None] * rows
+        self._blk_len = _np.zeros(blocks, dtype=_np.int64)
+        self._blk_lower = _np.full((blocks, dim), _np.inf, dtype=_np.float64)
+        self._blk_upper = _np.full((blocks, dim), -_np.inf, dtype=_np.float64)
+        self._blk_maxk = _np.full(blocks, -1, dtype=_np.int64)
+        self._free = list(range(blocks - 1, -1, -1))
+        self._dirty: Set[int] = set()
+        self._entries: Dict[int, SoAEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Basic accessors (pointer-tree parity surface)
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __contains__(self, kappa: int) -> bool:
+        return kappa in self._entries
+
+    def entries(self) -> Iterator[SoAEntry]:
+        """Iterate all entries (arbitrary deterministic order)."""
+        return iter(list(self._entries.values()))
+
+    def entry(self, kappa: int) -> SoAEntry:
+        """The entry labelled ``kappa``."""
+        entry = self._entries.get(kappa)
+        if entry is None:
+            raise KeyNotFoundError(f"no entry with kappa={kappa}")
+        return entry
+
+    def height(self) -> int:
+        """Always 1: the SoA index is a single level of blocks."""
+        return 1
+
+    def active_blocks(self) -> int:
+        """Number of non-empty blocks (introspection/benchmarks)."""
+        return int((self._blk_len > 0).sum())
+
+    # ------------------------------------------------------------------
+    # Block bookkeeping
+    # ------------------------------------------------------------------
+
+    def _alloc_block(self) -> int:
+        if not self._free:
+            self._grow()
+        return int(self._free.pop())
+
+    def _grow(self) -> None:
+        """Double the block pool (amortised array growth)."""
+        old = int(self._blk_len.shape[0])
+        new = old * 2
+        cap = self.block_capacity
+        self._points = _np.vstack(
+            [self._points, _np.zeros((old * cap, self.dim))]
+        )
+        self._kappas = _np.concatenate(
+            [self._kappas, _np.full(old * cap, -1, dtype=_np.int64)]
+        )
+        self._rows.extend([None] * (old * cap))
+        self._blk_len = _np.concatenate(
+            [self._blk_len, _np.zeros(old, dtype=_np.int64)]
+        )
+        self._blk_lower = _np.vstack(
+            [self._blk_lower, _np.full((old, self.dim), _np.inf)]
+        )
+        self._blk_upper = _np.vstack(
+            [self._blk_upper, _np.full((old, self.dim), -_np.inf)]
+        )
+        self._blk_maxk = _np.concatenate(
+            [self._blk_maxk, _np.full(old, -1, dtype=_np.int64)]
+        )
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    def _release_block(self, b: int) -> None:
+        """Return an emptied block slot to the free pool."""
+        self._blk_lower[b] = _np.inf
+        self._blk_upper[b] = -_np.inf
+        self._blk_maxk[b] = -1
+        self._blk_len[b] = 0
+        self._dirty.discard(b)
+        self._free.append(b)
+
+    def _refresh(self) -> None:
+        """Re-derive tight summaries for every dirty block.
+
+        Called at the start of each search: deletions in between only
+        *shrink* a block's true extent, so the stored summary stays a
+        conservative superset and pruning in the interim remains sound;
+        refreshing here restores exact pruning at one recompute per
+        touched block per slide, however many elements expired.
+        """
+        if not self._dirty:
+            return
+        cap = self.block_capacity
+        for b in self._dirty:
+            length = int(self._blk_len[b])
+            start = b * cap
+            pts = self._points[start:start + length]
+            self._blk_lower[b] = pts.min(axis=0)
+            self._blk_upper[b] = pts.max(axis=0)
+            self._blk_maxk[b] = self._kappas[start:start + length].max()
+        self._dirty.clear()
+
+    def _recompute_block(self, b: int) -> None:
+        """Tight summary for one block (empty blocks are released)."""
+        length = int(self._blk_len[b])
+        if length == 0:
+            self._release_block(b)
+            return
+        cap = self.block_capacity
+        start = b * cap
+        pts = self._points[start:start + length]
+        self._blk_lower[b] = pts.min(axis=0)
+        self._blk_upper[b] = pts.max(axis=0)
+        self._blk_maxk[b] = self._kappas[start:start + length].max()
+        self._dirty.discard(b)
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(
+        self, point: Sequence[float], kappa: int, data: Any = None
+    ) -> SoAEntry:
+        """Insert ``point`` with arrival label ``kappa``.
+
+        Raises
+        ------
+        DuplicateKeyError
+            If an entry with this ``kappa`` already exists.
+        DimensionMismatchError
+            If the point has the wrong dimensionality.
+        """
+        if len(point) != self.dim:
+            raise DimensionMismatchError(self.dim, len(point))
+        if kappa in self._entries:
+            raise DuplicateKeyError(
+                f"entry with kappa={kappa} already present"
+            )
+        coords = tuple(float(v) for v in point)
+        probe = _np.asarray(coords, dtype=_np.float64)
+        entry = SoAEntry(coords, kappa, data)
+        self._entries[kappa] = entry
+        b = self._choose_block(probe)
+        if int(self._blk_len[b]) >= self.block_capacity:
+            b = self._split_block(b, probe)
+        cap = self.block_capacity
+        row = b * cap + int(self._blk_len[b])
+        self._points[row] = probe
+        self._kappas[row] = kappa
+        self._rows[row] = entry
+        entry.row = row
+        self._blk_len[b] += 1
+        # Extend the summary in place: exact when the block was tight,
+        # still conservative when it was dirty.
+        _np.minimum(self._blk_lower[b], probe, out=self._blk_lower[b])
+        _np.maximum(self._blk_upper[b], probe, out=self._blk_upper[b])
+        if kappa > int(self._blk_maxk[b]):
+            self._blk_maxk[b] = kappa
+        return entry
+
+    def _choose_block(self, probe: Any) -> int:
+        """Guttman ChooseLeaf over blocks: least enlargement, then least
+        area, then fewest occupants (all vectorised)."""
+        active = _np.flatnonzero(self._blk_len > 0)
+        if active.size == 0:
+            return self._alloc_block()
+        lower = self._blk_lower[active]
+        upper = self._blk_upper[active]
+        area = _np.prod(upper - lower, axis=1)
+        grown = _np.prod(
+            _np.maximum(upper, probe) - _np.minimum(lower, probe), axis=1
+        )
+        enlargement = grown - area
+        order = _np.lexsort((self._blk_len[active], area, enlargement))
+        return int(active[order[0]])
+
+    def _split_block(self, b: int, probe: Any) -> int:
+        """Split a full block by median along its widest axis; return
+        whichever half needs less enlargement for ``probe``."""
+        cap = self.block_capacity
+        start = b * cap
+        length = int(self._blk_len[b])
+        pts = self._points[start:start + length].copy()
+        kappas = self._kappas[start:start + length].copy()
+        owners = self._rows[start:start + length]
+        axis = int(_np.argmax(pts.max(axis=0) - pts.min(axis=0)))
+        order = _np.argsort(pts[:, axis], kind="stable")
+        half = length // 2
+        sibling = self._alloc_block()
+        for target, picks in ((b, order[:half]), (sibling, order[half:])):
+            tstart = target * cap
+            self._points[tstart:tstart + picks.size] = pts[picks]
+            self._kappas[tstart:tstart + picks.size] = kappas[picks]
+            for offset, src in enumerate(picks.tolist()):
+                owner = owners[src]
+                self._rows[tstart + offset] = owner
+                if owner is not None:
+                    owner.row = tstart + offset
+            for row in range(tstart + picks.size, tstart + cap):
+                self._rows[row] = None
+            self._blk_len[target] = picks.size
+            self._recompute_block(target)
+        grow_b = self._enlargement_of(b, probe)
+        grow_s = self._enlargement_of(sibling, probe)
+        return b if grow_b <= grow_s else sibling
+
+    def _enlargement_of(self, b: int, probe: Any) -> float:
+        lower = self._blk_lower[b]
+        upper = self._blk_upper[b]
+        grown = _np.prod(
+            _np.maximum(upper, probe) - _np.minimum(lower, probe)
+        )
+        return float(grown - _np.prod(upper - lower))
+
+    # ------------------------------------------------------------------
+    # Deletion (batched-expiry path)
+    # ------------------------------------------------------------------
+
+    def delete(self, kappa: int) -> SoAEntry:
+        """Remove the entry labelled ``kappa``.
+
+        O(1): the row is swapped with its block's last live row and the
+        block's summary is marked dirty — re-derivation is deferred to
+        the next search, so a whole window slide of expiries costs one
+        summary recompute per touched block.
+        """
+        entry = self._entries.pop(kappa, None)
+        if entry is None:
+            raise KeyNotFoundError(f"no entry with kappa={kappa}")
+        row = entry.row
+        cap = self.block_capacity
+        b = row // cap
+        last = b * cap + int(self._blk_len[b]) - 1
+        if row != last:
+            mover = self._rows[last]
+            self._points[row] = self._points[last]
+            self._kappas[row] = self._kappas[last]
+            self._rows[row] = mover
+            if mover is not None:
+                mover.row = row
+        self._rows[last] = None
+        self._blk_len[b] -= 1
+        entry.row = -1
+        if int(self._blk_len[b]) == 0:
+            self._release_block(b)
+        else:
+            self._dirty.add(b)
+        self._maybe_repack()
+        return entry
+
+    def _maybe_repack(self) -> None:
+        """Repack when average occupancy decays below the threshold.
+
+        Long-running expiry can strand many near-empty blocks whose
+        summaries still cost a visit each; packing the survivors into
+        ~:data:`_REPACK_FILL`-full blocks (sorted for spatial locality)
+        restores dense slices.
+        """
+        live = len(self._entries)
+        active = int((self._blk_len > 0).sum())
+        if active <= 1:
+            return
+        if live >= _REPACK_OCCUPANCY * active * self.block_capacity:
+            return
+        entries = sorted(self._entries.values(), key=lambda e: e.point)
+        cap = self.block_capacity
+        fill = max(2, int(cap * _REPACK_FILL))
+        blocks = int(self._blk_len.shape[0])
+        self._rows = [None] * (blocks * cap)
+        self._blk_len[:] = 0
+        self._blk_lower[:] = _np.inf
+        self._blk_upper[:] = -_np.inf
+        self._blk_maxk[:] = -1
+        self._dirty.clear()
+        self._free = list(range(blocks - 1, -1, -1))
+        for chunk_start in range(0, len(entries), fill):
+            chunk = entries[chunk_start:chunk_start + fill]
+            b = self._alloc_block()
+            start = b * cap
+            for offset, entry in enumerate(chunk):
+                row = start + offset
+                self._points[row] = entry.point
+                self._kappas[row] = entry.kappa
+                self._rows[row] = entry
+                entry.row = row
+            self._blk_len[b] = len(chunk)
+            self._recompute_block(b)
+
+    # ------------------------------------------------------------------
+    # Dominance reporting (Figure 7a as block-mask + slice reductions)
+    # ------------------------------------------------------------------
+
+    def _candidate_blocks(self, probe: Any) -> Any:
+        """Blocks whose box may contain points dominated by ``probe``
+        (``probe <= upper`` on every axis), as an index array."""
+        active = _np.flatnonzero(self._blk_len > 0)
+        if active.size == 0:
+            return active
+        mask = (probe <= self._blk_upper[active]).all(axis=1)
+        return active[mask]
+
+    def report_dominated(self, q: Sequence[float]) -> List[SoAEntry]:
+        """Entries weakly dominated by ``q`` (non-destructive), sorted
+        by kappa.
+
+        One broadcasted test selects candidate blocks (Figure 7a);
+        blocks whose lower corner is dominated are harvested whole
+        (l-corner shortcut); the rest are answered by a single
+        reduction over their slice.  :attr:`last_report_visits` counts
+        the blocks expanded.
+        """
+        if len(q) != self.dim:
+            raise DimensionMismatchError(self.dim, len(q))
+        self._refresh()
+        probe = _np.asarray(q, dtype=_np.float64)
+        out: List[SoAEntry] = []
+        cand = self._candidate_blocks(probe)
+        visits = 0
+        cap = self.block_capacity
+        if cand.size:
+            whole = (probe <= self._blk_lower[cand]).all(axis=1)
+            for b, harvest in zip(cand.tolist(), whole.tolist()):
+                visits += 1
+                start = b * cap
+                length = int(self._blk_len[b])
+                if harvest:
+                    rows: Iterator[int] = iter(range(start, start + length))
+                else:
+                    hits = _np.flatnonzero(
+                        (probe <= self._points[start:start + length]).all(
+                            axis=1
+                        )
+                    )
+                    rows = (start + i for i in hits.tolist())
+                for row in rows:
+                    owner = self._rows[row]
+                    if owner is not None:
+                        out.append(owner)
+        self.last_report_visits = visits
+        out.sort(key=lambda e: e.kappa)
+        return out
+
+    def remove_dominated(self, q: Sequence[float]) -> List[SoAEntry]:
+        """Remove and return every entry weakly dominated by ``q``
+        (Algorithm 1's ``D_{e_new}``), sorted by kappa.
+
+        Survivors of each touched block are compacted in one gather;
+        emptied blocks are released; summaries are re-derived tight
+        immediately (the slice is already hot).
+        """
+        if len(q) != self.dim:
+            raise DimensionMismatchError(self.dim, len(q))
+        self._refresh()
+        probe = _np.asarray(q, dtype=_np.float64)
+        removed: List[SoAEntry] = []
+        cand = self._candidate_blocks(probe)
+        cap = self.block_capacity
+        for b in cand.tolist():
+            start = b * cap
+            length = int(self._blk_len[b])
+            if (probe <= self._blk_lower[b]).all():
+                # l-corner: the whole block is dominated.
+                for row in range(start, start + length):
+                    owner = self._rows[row]
+                    if owner is not None:
+                        removed.append(owner)
+                    self._rows[row] = None
+                self._blk_len[b] = 0
+                self._release_block(b)
+                continue
+            mask = (probe <= self._points[start:start + length]).all(axis=1)
+            hits = _np.flatnonzero(mask)
+            if hits.size == 0:
+                continue
+            keep = _np.flatnonzero(~mask)
+            for i in hits.tolist():
+                owner = self._rows[start + i]
+                if owner is not None:
+                    removed.append(owner)
+            kept_rows = [self._rows[start + i] for i in keep.tolist()]
+            self._points[start:start + keep.size] = (
+                self._points[start + keep]
+            )
+            self._kappas[start:start + keep.size] = (
+                self._kappas[start + keep]
+            )
+            for offset, owner in enumerate(kept_rows):
+                self._rows[start + offset] = owner
+                if owner is not None:
+                    owner.row = start + offset
+            for row in range(start + keep.size, start + length):
+                self._rows[row] = None
+            self._blk_len[b] = keep.size
+            self._recompute_block(b)
+        for entry in removed:
+            del self._entries[entry.kappa]
+            entry.row = -1
+        if removed:
+            self._maybe_repack()
+        removed.sort(key=lambda e: e.kappa)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Best-first critical-dominator search (Figure 7b over blocks)
+    # ------------------------------------------------------------------
+
+    def max_kappa_dominator(
+        self, q: Sequence[float], kappa_below: Optional[int] = None
+    ) -> Optional[SoAEntry]:
+        """The entry with the largest ``kappa`` weakly dominating ``q``
+        (optionally restricted to ``kappa < kappa_below``), or ``None``.
+
+        Candidate blocks (``lower <= q`` on every axis, Figure 7b) are
+        visited in descending ``max_kappa`` order; once the best found
+        kappa meets the next block's augmentation bound the scan stops
+        — the block-level analogue of the paper's best-first pruning.
+        """
+        if len(q) != self.dim:
+            raise DimensionMismatchError(self.dim, len(q))
+        self._refresh()
+        probe = _np.asarray(q, dtype=_np.float64)
+        active = _np.flatnonzero(self._blk_len > 0)
+        if active.size == 0:
+            return None
+        mask = (self._blk_lower[active] <= probe).all(axis=1)
+        cand = active[mask]
+        if cand.size == 0:
+            return None
+        order = cand[_np.argsort(-self._blk_maxk[cand], kind="stable")]
+        cap = self.block_capacity
+        best: Optional[SoAEntry] = None
+        best_kappa = -1
+        for b in order.tolist():
+            if int(self._blk_maxk[b]) <= best_kappa:
+                break
+            start = b * cap
+            length = int(self._blk_len[b])
+            pts = self._points[start:start + length]
+            hit = (pts <= probe).all(axis=1)
+            if kappa_below is not None:
+                hit &= self._kappas[start:start + length] < kappa_below
+            idx = _np.flatnonzero(hit)
+            if idx.size == 0:
+                continue
+            kappas = self._kappas[start:start + length][idx]
+            top = int(_np.argmax(kappas))
+            if int(kappas[top]) > best_kappa:
+                best_kappa = int(kappas[top])
+                best = self._rows[start + int(idx[top])]
+        return best
+
+    def top_kappa_dominators(
+        self, q: Sequence[float], k: int
+    ) -> List[SoAEntry]:
+        """The ``k`` youngest entries weakly dominating ``q``, youngest
+        first (fewer if fewer exist).
+
+        One vectorised sweep gathers every dominator, then a partial
+        sort picks the top ``k`` — cheaper than ``k`` repeated
+        best-first searches on this layout.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if len(q) != self.dim:
+            raise DimensionMismatchError(self.dim, len(q))
+        self._refresh()
+        probe = _np.asarray(q, dtype=_np.float64)
+        active = _np.flatnonzero(self._blk_len > 0)
+        if active.size == 0:
+            return []
+        mask = (self._blk_lower[active] <= probe).all(axis=1)
+        cand = active[mask]
+        cap = self.block_capacity
+        rows: List[int] = []
+        kappas: List[int] = []
+        for b in cand.tolist():
+            start = b * cap
+            length = int(self._blk_len[b])
+            hit = _np.flatnonzero(
+                (self._points[start:start + length] <= probe).all(axis=1)
+            )
+            for i in hit.tolist():
+                rows.append(start + i)
+                kappas.append(int(self._kappas[start + i]))
+        if not rows:
+            return []
+        order = _np.argsort(_np.asarray(kappas, dtype=_np.int64))[::-1][:k]
+        found: List[SoAEntry] = []
+        for i in order.tolist():
+            owner = self._rows[rows[i]]
+            if owner is not None:
+                found.append(owner)
+        return found
+
+    # ------------------------------------------------------------------
+    # Validation (used by the sanitizer and the test suite)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify structural invariants over the whole index.
+
+        Raises the same check ids as the pointer tree wherever the
+        concept carries over — in particular ``rtree-kernel-cache``
+        covers the pooled coordinate/kappa matrices (the SoA analogue
+        of a cached leaf kernel: the matrix must mirror the entry
+        objects row for row).  Dirty blocks are *not* refreshed first:
+        their summaries must still be conservative supersets.
+
+        Raises
+        ------
+        StructureCorruptionError
+            On the first violated property (survives ``python -O``).
+        """
+        cap = self.block_capacity
+        blocks = int(self._blk_len.shape[0])
+        total = int(self._blk_len.sum())
+        if total != len(self._entries):
+            raise corruption(
+                "rtree",
+                "rtree-count",
+                f"entry count mismatch: blocks hold {total}, index has "
+                f"{len(self._entries)}",
+            )
+        for b in range(blocks):
+            length = int(self._blk_len[b])
+            if length < 0 or length > cap:
+                raise corruption(
+                    "rtree",
+                    "rtree-fanout",
+                    f"block {b} holds {length} rows (capacity {cap})",
+                )
+            start = b * cap
+            for offset in range(length):
+                owner = self._rows[start + offset]
+                if owner is None or owner.row != start + offset:
+                    raise corruption(
+                        "rtree",
+                        "rtree-links",
+                        f"row {start + offset} does not link back to its "
+                        f"entry",
+                    )
+            for offset in range(length, cap):
+                if self._rows[start + offset] is not None:
+                    raise corruption(
+                        "rtree",
+                        "rtree-links",
+                        f"ghost entry past block {b}'s live range",
+                    )
+            if length == 0:
+                if int(self._blk_maxk[b]) != -1 or not (
+                    self._blk_lower[b] == _np.inf  # lint: skip=REPRO004
+                ).all():
+                    raise corruption(
+                        "rtree",
+                        "rtree-mbr",
+                        f"empty block {b} has a non-empty summary",
+                    )
+                continue
+            pts = self._points[start:start + length]
+            kappas = self._kappas[start:start + length]
+            for offset in range(length):
+                owner = self._rows[start + offset]
+                if owner is None:  # unreachable: link check above
+                    continue
+                if (
+                    tuple(pts[offset].tolist()) != owner.point  # lint: skip=REPRO004
+                    or int(kappas[offset]) != owner.kappa
+                ):
+                    raise corruption(
+                        "rtree",
+                        "rtree-kernel-cache",
+                        "pooled coordinate/kappa matrix does not mirror "
+                        "the entry objects",
+                        kappas=(owner.kappa,),
+                    )
+            lower = pts.min(axis=0)
+            upper = pts.max(axis=0)
+            maxk = int(kappas.max())
+            if b in self._dirty:
+                if (self._blk_lower[b] > lower).any() or (
+                    self._blk_upper[b] < upper
+                ).any():
+                    raise corruption(
+                        "rtree",
+                        "rtree-mbr",
+                        f"dirty block {b} summary is not conservative",
+                    )
+                if int(self._blk_maxk[b]) < maxk:
+                    raise corruption(
+                        "rtree",
+                        "rtree-augmentation",
+                        f"dirty block {b} max-kappa below its rows",
+                    )
+            else:
+                if (self._blk_lower[b] != lower).any() or (  # lint: skip=REPRO004
+                    self._blk_upper[b] != upper  # lint: skip=REPRO004
+                ).any():
+                    raise corruption(
+                        "rtree", "rtree-mbr", f"block {b} box not tight"
+                    )
+                if int(self._blk_maxk[b]) != maxk:
+                    raise corruption(
+                        "rtree",
+                        "rtree-augmentation",
+                        f"block {b} max-kappa {int(self._blk_maxk[b])} "
+                        f"does not match its rows",
+                    )
+        rows_total = blocks * cap
+        for kappa, entry in self._entries.items():
+            if entry.kappa != kappa:
+                raise corruption(
+                    "rtree",
+                    "rtree-links",
+                    f"index key {kappa} holds entry labelled {entry.kappa}",
+                    kappas=(kappa,),
+                )
+            row = entry.row
+            if not 0 <= row < rows_total or self._rows[row] is not entry:
+                raise corruption(
+                    "rtree",
+                    "rtree-links",
+                    f"stale row link for kappa={kappa}",
+                    kappas=(kappa,),
+                )
+            if row % cap >= int(self._blk_len[row // cap]):
+                raise corruption(
+                    "rtree",
+                    "rtree-links",
+                    f"entry kappa={kappa} sits past its block's live "
+                    f"range",
+                    kappas=(kappa,),
+                )
+
+
+AnyRTree = Union[RTree, SoARTree]
+
+
+def make_rtree(
+    dim: int,
+    max_entries: int = DEFAULT_MAX_ENTRIES,
+    min_entries: int = DEFAULT_MIN_ENTRIES,
+    split: str = "quadratic",
+    kernels: str = "auto",
+    layout: str = "auto",
+) -> AnyRTree:
+    """Build the dominance index for an engine.
+
+    The single construction point behind every engine's ``rtree_*``
+    knobs: resolves ``layout`` via :func:`resolve_rtree_layout` and
+    stamps the *requested* policy on the instance (``layout_policy``)
+    next to the *effective* layout (``layout``) so persistence can
+    round-trip the knob as configured.
+    """
+    effective = resolve_rtree_layout(layout)
+    index: AnyRTree
+    if effective == "soa":
+        index = SoARTree(
+            dim,
+            max_entries=max_entries,
+            min_entries=min_entries,
+            split=split,
+            kernels=kernels,
+        )
+    else:
+        index = RTree(
+            dim,
+            max_entries=max_entries,
+            min_entries=min_entries,
+            split=split,
+            kernels=kernels,
+        )
+    index.layout_policy = layout
+    return index

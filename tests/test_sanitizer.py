@@ -141,8 +141,8 @@ class TestCleanRuns:
 # ----------------------------------------------------------------------
 
 
-def fed_nofn(count=40, capacity=12, seed=10):
-    engine = NofNSkyline(2, capacity)
+def fed_nofn(count=40, capacity=12, seed=10, **kwargs):
+    engine = NofNSkyline(2, capacity, **kwargs)
     for point in points_stream(count, seed=seed):
         engine.append(point)
     return engine
@@ -195,8 +195,21 @@ class TestNofNCorruption:
         assert invariant_of(excinfo) == "forest"
 
     def test_rtree_augmentation_tamper(self):
-        engine = fed_nofn()
+        # ``_root`` is pointer-layout state; the SoA analogue lives in
+        # tests/test_rtree_soa.py (same invariant name, pooled arrays).
+        engine = fed_nofn(rtree_layout="pointer")
         engine._rtree._root.max_kappa = -5
+        with pytest.raises(StructureCorruptionError) as excinfo:
+            engine.check_invariants()
+        assert invariant_of(excinfo) == "rtree-augmentation"
+
+    def test_rtree_augmentation_tamper_soa(self):
+        engine = fed_nofn(rtree_layout="soa")
+        if engine._rtree.layout != "soa":
+            pytest.skip("NumPy unavailable: soa degraded to pointer")
+        tree = engine._rtree
+        blocks = [b for b in range(len(tree._blk_len)) if tree._blk_len[b]]
+        tree._blk_maxk[blocks[0]] = -5
         with pytest.raises(StructureCorruptionError) as excinfo:
             engine.check_invariants()
         assert invariant_of(excinfo) == "rtree-augmentation"
