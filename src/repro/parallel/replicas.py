@@ -594,16 +594,19 @@ class ReplicaPublisher:
         while capacity < need:
             capacity *= 2
         gen = self._gens[slot] + 1
+        previous_gen = self._gens[slot]
         replacement = _open_segment(
             _slot_name(self.prefix, slot, gen), create=True, size=capacity
         )
-        if current is not None:
-            old_name = _slot_name(self.prefix, slot, self._gens[slot])
-            current.close()
-            _unlink_quietly(old_name)
+        # Take ownership of the new segment before anything that can
+        # raise: if close/unlink of the old one fails, close() still
+        # releases the replacement instead of leaking it.
         self._slots[slot] = replacement
         self._gens[slot] = gen
         self._caps[slot] = capacity
+        if current is not None:
+            current.close()
+            _unlink_quietly(_slot_name(self.prefix, slot, previous_gen))
         return replacement
 
     def publish(self, engine: Any) -> bool:

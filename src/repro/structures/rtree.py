@@ -114,9 +114,12 @@ class _Node:
     def adopt(self, child: Any) -> None:
         """Attach a child and set its parent link."""
         self.children.append(child)
+        # Unconditional: only leaves ever hold a kernel, but dropping it
+        # on every mutation path keeps the invalidation discipline
+        # locally checkable (and is free for internal nodes).
+        self.kernel = None
         if self.is_leaf:
             child._leaf = self
-            self.kernel = None
         else:
             child.parent = self
 

@@ -763,7 +763,7 @@ class SoARTree:
                     )
             if length == 0:
                 if int(self._blk_maxk[b]) != -1 or not (
-                    self._blk_lower[b] == _np.inf  # lint: skip=REPRO004
+                    self._blk_lower[b] == _np.inf
                 ).all():
                     raise corruption(
                         "rtree",
@@ -807,8 +807,8 @@ class SoARTree:
                         f"dirty block {b} max-kappa below its rows",
                     )
             else:
-                if (self._blk_lower[b] != lower).any() or (  # lint: skip=REPRO004
-                    self._blk_upper[b] != upper  # lint: skip=REPRO004
+                if (self._blk_lower[b] != lower).any() or (
+                    self._blk_upper[b] != upper
                 ).any():
                     raise corruption(
                         "rtree", "rtree-mbr", f"block {b} box not tight"

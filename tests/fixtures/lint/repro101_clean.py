@@ -1,0 +1,18 @@
+"""REPRO101 clean variant: the bump may come before or after the
+mutation — the rule only demands it on every path through it."""
+
+
+class DemoWindow:
+    def __init__(self):
+        self._items = []
+        self._version = 0
+
+    def insert(self, item, fast):
+        self._version += 1
+        self._items.append(item)
+        return fast
+
+    def remove(self, item):
+        self._items.remove(item)
+        self._version += 1
+        return True

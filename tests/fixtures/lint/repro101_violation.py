@@ -1,0 +1,17 @@
+"""REPRO101 seeded violation: a ``_version``-bearing class mutates a
+tracked container on one branch without bumping the counter there."""
+
+
+class DemoWindow:
+    def __init__(self):
+        self._items = []
+        self._version = 0
+
+    def insert(self, item, fast):
+        self._items.append(item)
+        if fast:
+            # Early exit skips the bump: caches keyed on _version will
+            # keep serving the pre-insert answer.
+            return True
+        self._version += 1
+        return False

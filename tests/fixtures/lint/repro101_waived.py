@@ -1,0 +1,14 @@
+"""REPRO101 waived variant: same violation, explicitly suppressed."""
+
+
+class DemoWindow:
+    def __init__(self):
+        self._items = []
+        self._version = 0
+
+    def insert(self, item, fast):
+        self._items.append(item)  # lint: skip=REPRO101
+        if fast:
+            return True
+        self._version += 1
+        return False

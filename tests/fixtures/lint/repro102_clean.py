@@ -1,0 +1,43 @@
+"""REPRO102 clean variant: odd seq word, data writes, even seq word;
+reader copies, re-reads the header, and compares ``.seq``."""
+
+import collections
+import struct
+
+_SEQ = struct.Struct("<Q")
+_HDR = struct.Struct("<QQ")
+
+Header = collections.namedtuple("Header", ["seq", "used"])
+
+
+class DemoPublisher:
+    def __init__(self, control):
+        self._control = control
+        self._seq = 0
+
+    def flip(self, version, seen):
+        buf = self._control.buf
+        odd = self._seq + 1
+        _SEQ.pack_into(buf, 0, odd)
+        _HDR.pack_into(buf, 8, version, seen)
+        self._seq = odd + 1
+        _SEQ.pack_into(buf, 0, self._seq)
+        return self._seq
+
+
+class DemoReader:
+    def __init__(self, control, slot):
+        self._control = control
+        self._slot = slot
+
+    def _read_header(self):
+        seq, used = _HDR.unpack_from(self._control.buf, 8)
+        return Header(seq, used)
+
+    def read(self):
+        header = self._read_header()
+        data = bytes(self._slot.buf[: header.used])
+        confirm = self._read_header()
+        if confirm.seq != header.seq:
+            return None
+        return data

@@ -1,0 +1,39 @@
+"""REPRO102 seeded violations: a data write landing *after* the closing
+seq flip (writer side), and a reader that trusts a copied payload
+without re-reading the header (reader side)."""
+
+import struct
+
+_SEQ = struct.Struct("<Q")
+_HDR = struct.Struct("<QQ")
+
+
+class DemoPublisher:
+    def __init__(self, control):
+        self._control = control
+        self._seq = 0
+
+    def flip(self, version, seen):
+        buf = self._control.buf
+        _SEQ.pack_into(buf, 0, self._seq + 1)
+        _SEQ.pack_into(buf, 0, self._seq + 2)
+        self._seq += 2
+        # Torn: the header lands after the even word, so a reader can
+        # see a stable seq over a half-written header.
+        _HDR.pack_into(buf, 8, version, seen)
+        return self._seq
+
+
+class DemoReader:
+    def __init__(self, control, slot):
+        self._control = control
+        self._slot = slot
+
+    def _read_header(self):
+        return _HDR.unpack_from(self._control.buf, 8)
+
+    def read(self):
+        header = self._read_header()
+        data = bytes(self._slot.buf[: header[1]])
+        # No header re-read after the copy: the bytes may be torn.
+        return data

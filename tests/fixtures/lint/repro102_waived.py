@@ -1,0 +1,20 @@
+"""REPRO102 waived variant: the torn writer, explicitly suppressed."""
+
+import struct
+
+_SEQ = struct.Struct("<Q")
+_HDR = struct.Struct("<QQ")
+
+
+class DemoPublisher:
+    def __init__(self, control):
+        self._control = control
+        self._seq = 0
+
+    def flip(self, version, seen):
+        buf = self._control.buf
+        _SEQ.pack_into(buf, 0, self._seq + 1)
+        _SEQ.pack_into(buf, 0, self._seq + 2)
+        self._seq += 2
+        _HDR.pack_into(buf, 8, version, seen)  # lint: skip=REPRO102
+        return self._seq

@@ -1,0 +1,29 @@
+"""REPRO103 clean variants: ownership taken before anything can raise
+(stored on self with a close(), returned immediately, or released in an
+exception handler), plus the module-level unlink janitor."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+class SegmentOwner:
+    def __init__(self, name, size):
+        self._segment = SharedMemory(name=name, create=True, size=size)
+
+    def close(self):
+        self._segment.close()
+
+
+def make_blob(name, payload):
+    segment = SharedMemory(name=name, create=True, size=len(payload))
+    try:
+        segment.buf[: len(payload)] = payload
+    except Exception:
+        segment.close()
+        raise
+    return segment
+
+
+def remove_blob(name):
+    segment = SharedMemory(name=name)
+    segment.close()
+    segment.unlink()

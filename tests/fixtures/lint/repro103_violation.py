@@ -1,0 +1,19 @@
+"""REPRO103 seeded violation: a created segment can leak down the
+exception edge of a call that runs before ownership is taken."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def risky_blob(name, payload, codec):
+    segment = SharedMemory(name=name, create=True, size=len(payload))
+    # codec.encode can raise; at that point nothing owns `segment`,
+    # so neither close() nor unlink() will ever run.
+    encoded = codec.encode(payload)
+    segment.buf[: len(encoded)] = encoded
+    return segment
+
+
+def remove_blob(name):
+    segment = SharedMemory(name=name)
+    segment.close()
+    segment.unlink()

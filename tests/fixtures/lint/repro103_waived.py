@@ -1,0 +1,16 @@
+"""REPRO103 waived variant: the leaking creation, suppressed."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def risky_blob(name, payload, codec):
+    segment = SharedMemory(name=name, create=True, size=len(payload))  # lint: skip=REPRO103
+    encoded = codec.encode(payload)
+    segment.buf[: len(encoded)] = encoded
+    return segment
+
+
+def remove_blob(name):
+    segment = SharedMemory(name=name)
+    segment.close()
+    segment.unlink()

@@ -1,0 +1,58 @@
+"""REPRO104 clean variants: invalidate on every mutation path — by
+direct kernel drop, by recompute(), via an aliased local, or by marking
+the SoA block dirty / recomputing its summary."""
+
+
+class DemoLeaf:
+    def __init__(self):
+        self.children = []
+        self.kernel = None
+
+    def recompute(self):
+        self.kernel = None
+
+    def adopt(self, child):
+        self.children.append(child)
+        self.kernel = None
+        return len(self.children)
+
+    def prune(self, survivors):
+        self.children = survivors
+        self.recompute()
+
+
+class DemoTree:
+    def __init__(self):
+        self.root = DemoLeaf()
+
+    def condense(self, node):
+        while node is not None:
+            parent = node.parent
+            if parent is not None:
+                parent.children.remove(node)
+                # `node = parent` aliases the two names; recompute()
+                # through the alias still satisfies the obligation.
+                node = parent
+                node.recompute()
+            else:
+                node = None
+
+
+class DemoPool:
+    def __init__(self):
+        self._points = [[0.0]]
+        self._kappas = [0]
+        self._dirty = set()
+        self._blk_lower = [0.0]
+
+    def _recompute_block(self, block):
+        self._blk_lower[block] = 0.0
+
+    def move_row(self, src, dst, block):
+        self._points[dst] = self._points[src]
+        self._dirty.add(block)
+        return dst
+
+    def rewrite_row(self, row, point, block):
+        self._points[row] = point
+        self._recompute_block(block)

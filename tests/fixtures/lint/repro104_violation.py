@@ -1,0 +1,35 @@
+"""REPRO104 seeded violations: a pointer-tree child mutation with no
+kernel invalidation, and a raw SoA pooled-array write with no
+block-summary maintenance."""
+
+
+class DemoLeaf:
+    def __init__(self):
+        self.children = []
+        self.kernel = None
+
+    def recompute(self):
+        self.kernel = None
+
+    def adopt_fast(self, child):
+        # Mutates the child list but leaves the cached kernel mirroring
+        # the *old* children alive.
+        self.children.append(child)
+        return len(self.children)
+
+
+class DemoPool:
+    def __init__(self):
+        self._points = [[0.0]]
+        self._kappas = [0]
+        self._dirty = set()
+        self._blk_lower = [0.0]
+
+    def _recompute_block(self, block):
+        self._blk_lower[block] = 0.0
+
+    def move_row(self, src, dst):
+        # Raw pooled write: the block summaries still describe the old
+        # occupant of `dst`.
+        self._points[dst] = self._points[src]
+        return dst

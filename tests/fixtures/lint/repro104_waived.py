@@ -1,0 +1,29 @@
+"""REPRO104 waived variant: both violations, suppressed."""
+
+
+class DemoLeaf:
+    def __init__(self):
+        self.children = []
+        self.kernel = None
+
+    def recompute(self):
+        self.kernel = None
+
+    def adopt_fast(self, child):
+        self.children.append(child)  # lint: skip=REPRO104
+        return len(self.children)
+
+
+class DemoPool:
+    def __init__(self):
+        self._points = [[0.0]]
+        self._kappas = [0]
+        self._dirty = set()
+        self._blk_lower = [0.0]
+
+    def _recompute_block(self, block):
+        self._blk_lower[block] = 0.0
+
+    def move_row(self, src, dst):
+        self._points[dst] = self._points[src]  # lint: skip=REPRO104
+        return dst

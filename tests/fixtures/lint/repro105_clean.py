@@ -1,0 +1,20 @@
+"""REPRO105 clean variant: every persisted key is restored; optional
+keys are read with ``.get`` (backward-compatible, never flagged)."""
+
+
+def to_snapshot(engine):
+    return {
+        "dim": engine.dim,
+        "capacity": engine.capacity,
+        "horizon": engine.horizon,
+        "records": list(engine.records),
+    }
+
+
+def from_snapshot(snap, factory):
+    engine = factory(snap["dim"], snap["capacity"])
+    engine.horizon = snap["horizon"]
+    engine.legacy = snap.get("legacy_mode", False)
+    for record in snap["records"]:
+        engine.push(record)
+    return engine

@@ -1,0 +1,19 @@
+"""REPRO105 seeded violations: one key persisted but never restored
+(``horizon``), one key required by restore but never produced
+(``seed``)."""
+
+
+def to_snapshot(engine):
+    return {
+        "dim": engine.dim,
+        "capacity": engine.capacity,
+        "horizon": engine.horizon,
+        "records": list(engine.records),
+    }
+
+
+def from_snapshot(snap, factory):
+    engine = factory(snap["dim"], snap["capacity"], snap["seed"])
+    for record in snap["records"]:
+        engine.push(record)
+    return engine

@@ -4,15 +4,30 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
-from tools.lint import RULES, lint_paths
+from tools.lint import RULES, Finding, LintResult, lint_run
+from tools.lint.baseline import (
+    load_baseline,
+    match_baseline,
+    serialize_baseline,
+)
+
+
+def _render_github(finding: Finding) -> str:
+    """GitHub Actions workflow-command annotation."""
+    message = finding.message.replace("%", "%25").replace("\n", "%0A")
+    return (
+        f"::error file={finding.path},line={finding.line},"
+        f"col={finding.col},title={finding.code}::{message}"
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="tools.lint",
-        description="Paper-invariant AST lint for the repro codebase.",
+        description="Dataflow-aware paper-invariant lint for the repro "
+                    "codebase.",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src/repro"],
@@ -22,6 +37,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--format", choices=("text", "github"), default="text",
+        help="finding output format (github emits workflow annotations)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="grandfathered-findings file; matched findings are "
+             "suppressed, unmatched baseline entries are stale errors",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="regenerate the --baseline file from current findings "
+             "and exit",
+    )
+    parser.add_argument(
+        "--strict-waivers", action="store_true",
+        help="treat unused '# lint: skip=' waivers as errors, not "
+             "warnings",
+    )
+    parser.add_argument(
+        "--diff-out", metavar="FILE", default=None,
+        help="write the baseline diff (new findings + stale entries) "
+             "to FILE for CI artifact upload",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -30,14 +69,60 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     try:
-        findings = lint_paths(args.paths)
+        result: LintResult = lint_run(args.paths)
     except SyntaxError as exc:
         print(f"parse error: {exc}", file=sys.stderr)
         return 2
+
+    findings = result.findings
+    stale_lines: List[str] = []
+    if args.baseline is not None:
+        if args.write_baseline:
+            with open(args.baseline, "w", encoding="utf-8") as handle:
+                handle.write(serialize_baseline(findings))
+            print(f"wrote {len(findings)} baseline entries to "
+                  f"{args.baseline}", file=sys.stderr)
+            return 0
+        baseline = load_baseline(args.baseline)
+        findings, stale = match_baseline(findings, baseline)
+        stale_lines = [
+            f"stale baseline entry (fixed or moved — delete the line): "
+            f"{entry.render()}"
+            for entry in stale
+        ]
+
     for finding in findings:
-        print(finding.render())
-    if findings:
-        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        if args.format == "github":
+            print(_render_github(finding))
+        else:
+            print(finding.render())
+    for line in stale_lines:
+        print(line, file=sys.stderr)
+    for waiver in result.unused_waivers:
+        print(waiver.render(), file=sys.stderr)
+
+    if args.diff_out is not None:
+        with open(args.diff_out, "w", encoding="utf-8") as handle:
+            handle.write(f"new findings: {len(findings)}\n")
+            for finding in findings:
+                handle.write(finding.render() + "\n")
+            handle.write(f"stale baseline entries: {len(stale_lines)}\n")
+            for line in stale_lines:
+                handle.write(line + "\n")
+            handle.write(f"unused waivers: {len(result.unused_waivers)}\n")
+            for waiver in result.unused_waivers:
+                handle.write(waiver.render() + "\n")
+
+    failed = bool(findings) or bool(stale_lines)
+    if args.strict_waivers and result.unused_waivers:
+        failed = True
+    if failed:
+        summary = f"{len(findings)} finding(s)"
+        if stale_lines:
+            summary += f", {len(stale_lines)} stale baseline entr(y/ies)"
+        if result.unused_waivers:
+            summary += f", {len(result.unused_waivers)} unused waiver(s)"
+        print(summary, file=sys.stderr)
         return 1
     return 0
 

@@ -1,0 +1,103 @@
+"""Checked-in baseline of grandfathered lint findings.
+
+A baseline line is ``path|code|scope`` — anchored to the enclosing
+dotted qualname rather than a line number, so unrelated churn above a
+grandfathered finding does not invalidate the entry.  Matching is a
+multiset: two grandfathered REPRO001s in the same function need two
+lines.  ``#`` starts a comment; blank lines are ignored.
+
+The workflow:
+
+* ``python -m tools.lint --baseline tools/lint/baseline.txt`` reports
+  only findings *not* in the baseline, and reports baseline entries
+  that no longer match anything as **stale** (they must be deleted —
+  a baseline only ever shrinks).
+* ``--write-baseline`` regenerates the file from the current findings
+  (for the initial adoption of a new rule over legacy code).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from typing import Iterable, List, NamedTuple, Tuple
+
+from tools.lint.rules import Finding
+
+__all__ = [
+    "BaselineKey", "load_baseline", "match_baseline", "serialize_baseline",
+]
+
+
+class BaselineKey(NamedTuple):
+    path: str
+    code: str
+    scope: str
+
+    def render(self) -> str:
+        return f"{self.path}|{self.code}|{self.scope}"
+
+
+def _normalize(path: str) -> str:
+    clean = path.replace(os.sep, "/").replace("\\", "/")
+    while clean.startswith("./"):
+        clean = clean[2:]
+    return clean
+
+
+def _entry_for(finding: Finding) -> BaselineKey:
+    return BaselineKey(_normalize(finding.path), finding.code,
+                         finding.scope or "<module>")
+
+
+def load_baseline(path: str) -> "Counter[BaselineKey]":
+    """Parse a baseline file into an entry multiset."""
+    entries: "Counter[BaselineKey]" = Counter()
+    with open(path, encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split("|")
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}: malformed baseline line {line!r} "
+                    f"(expected path|code|scope)"
+                )
+            entries[BaselineKey(_normalize(parts[0]), parts[1],
+                                  parts[2])] += 1
+    return entries
+
+
+def match_baseline(
+    findings: Iterable[Finding],
+    baseline: "Counter[BaselineKey]",
+) -> Tuple[List[Finding], List[BaselineKey]]:
+    """Split findings into (new, …) and report stale baseline entries.
+
+    Returns ``(new_findings, stale_entries)``: findings not covered by
+    the baseline, and baseline entries with no matching finding left.
+    """
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    for finding in findings:
+        entry = _entry_for(finding)
+        if remaining[entry] > 0:
+            remaining[entry] -= 1
+        else:
+            new.append(finding)
+    stale: List[BaselineKey] = []
+    for entry, count in sorted(remaining.items()):
+        stale.extend([entry] * count)
+    return new, stale
+
+
+def serialize_baseline(findings: Iterable[Finding]) -> str:
+    """Render findings as baseline lines (sorted, stable)."""
+    lines = sorted(_entry_for(f).render() for f in findings)
+    header = (
+        "# Grandfathered lint findings: path|code|scope (one line per\n"
+        "# finding; see tools/lint/baseline.py).  This file only ever\n"
+        "# shrinks — fix the finding, then delete its line.\n"
+    )
+    return header + "".join(line + "\n" for line in lines)

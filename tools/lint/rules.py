@@ -51,13 +51,18 @@ __all__ = ["Finding", "RULES", "check_source"]
 
 
 class Finding(NamedTuple):
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    ``scope`` is the dotted qualname of the enclosing class/function —
+    it anchors baseline entries so they survive unrelated line churn.
+    """
 
     path: str
     line: int
     col: int
     code: str
     message: str
+    scope: str = ""
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
@@ -71,6 +76,16 @@ RULES: Dict[str, str] = {
     "REPRO004": "float equality on coordinate values; use core.dominance "
                 "or an explicit waiver",
     "REPRO005": "hot-path node class without __slots__",
+    "REPRO101": "container mutation on a CFG path without a _version "
+                "bump; versioned caches go stale",
+    "REPRO102": "seqlock protocol violation: unbracketed control-buffer "
+                "write or reader without a seq re-check",
+    "REPRO103": "SharedMemory(create=True) can leak: a path (incl. "
+                "exception edges) escapes before close/store/unlink",
+    "REPRO104": "R-tree/SoA mutation skips kernel-cache invalidation or "
+                "block-summary maintenance",
+    "REPRO105": "snapshot round-trip parity: key persisted but never "
+                "restored, or required but never produced",
 }
 
 #: Files allowed to hand-roll coordinate comparisons (REPRO002): the
@@ -146,11 +161,17 @@ class _Checker(ast.NodeVisitor):
         self.dominance_exempt = dominance_exempt
         self.findings: List[Finding] = []
         self._func_stack: List[str] = []
+        self._scope_stack: List[str] = []
+
+    def _scope(self) -> str:
+        return ".".join(self._scope_stack) if self._scope_stack else "<module>"
 
     def _report(self, node: ast.AST, code: str, message: str) -> None:
         line = getattr(node, "lineno", 0)
         col = getattr(node, "col_offset", 0)
-        self.findings.append(Finding(self.path, line, col, code, message))
+        self.findings.append(
+            Finding(self.path, line, col, code, message, self._scope())
+        )
 
     # -- REPRO001 ------------------------------------------------------
 
@@ -176,7 +197,9 @@ class _Checker(ast.NodeVisitor):
                 self._report(default, "REPRO003",
                              f"{RULES['REPRO003']} in {name}()")
         self._func_stack.append(name)
+        self._scope_stack.append(name)
         self.generic_visit(node)
+        self._scope_stack.pop()
         self._func_stack.pop()
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -221,20 +244,29 @@ class _Checker(ast.NodeVisitor):
             if not has_slots:
                 self._report(node, "REPRO005",
                              f"class {node.name}: {RULES['REPRO005']}")
+        self._scope_stack.append(node.name)
         self.generic_visit(node)
+        self._scope_stack.pop()
 
 
-def check_source(path: str, source: str) -> List[Finding]:
-    """Lint one file's source; returns unsuppressed findings."""
+def collect_flat_findings(path: str, tree: ast.Module) -> List[Finding]:
+    """Run the flat (single-statement) rules; no waiver filtering."""
     normalized = path.replace("\\", "/")
-    tree = ast.parse(source, filename=path)
     checker = _Checker(
         path,
         dominance_exempt=normalized.endswith(_DOMINANCE_EXEMPT_SUFFIXES),
     )
     checker.visit(tree)
-    waivers = _parse_waivers(source)
-    return [
-        f for f in checker.findings
-        if f.code not in waivers.get(f.line, set())
-    ]
+    return checker.findings
+
+
+def check_source(path: str, source: str) -> List[Finding]:
+    """Lint one file's source with the full rule pack (flat rules plus
+    the REPRO101-105 dataflow pack, modelled over this file alone);
+    returns unsuppressed findings."""
+    # Local import: the engine builds on rules, model and dataflow; this
+    # keeps the historical ``from tools.lint.rules import check_source``
+    # entry point while the real orchestration lives in the package.
+    from tools.lint import analyze_sources
+
+    return analyze_sources({path: source}).findings
