@@ -52,12 +52,14 @@ def points_stream(count: int, dim: int, seed: int):
     return [tuple(rng.random() for _ in range(dim)) for _ in range(count)]
 
 
-def smoke_nofn(sanitize: str) -> None:
+def smoke_nofn(sanitize: str, batch_chunk=None) -> None:
     points = points_stream(400, 3, seed=1)
     elem = NofNSkyline(dim=3, capacity=100, sanitize=sanitize)
     for p in points:
         elem.append(p)
-    batched = NofNSkyline(dim=3, capacity=100, sanitize=sanitize)
+    batched = NofNSkyline(
+        dim=3, capacity=100, sanitize=sanitize, batch_chunk=batch_chunk
+    )
     batched.append_many(points[:250])
     batched.append_many(points[250:])
     for n in (1, 50, 100):
@@ -69,13 +71,15 @@ def smoke_nofn(sanitize: str) -> None:
     batched.check_invariants()
 
 
-def smoke_timewindow(sanitize: str) -> None:
+def smoke_timewindow(sanitize: str, batch_chunk=None) -> None:
     points = points_stream(200, 2, seed=2)
     stamps = [0.5 * (i + 1) for i in range(len(points))]
     elem = TimeWindowSkyline(dim=2, horizon=20.0, sanitize=sanitize)
     for p, t in zip(points, stamps):
         elem.append(p, t)
-    batched = TimeWindowSkyline(dim=2, horizon=20.0, sanitize=sanitize)
+    batched = TimeWindowSkyline(
+        dim=2, horizon=20.0, sanitize=sanitize, batch_chunk=batch_chunk
+    )
     batched.append_many(points, stamps)
     check(
         [e.kappa for e in batched.skyline()]
@@ -84,12 +88,14 @@ def smoke_timewindow(sanitize: str) -> None:
     )
 
 
-def smoke_n1n2(sanitize: str) -> None:
+def smoke_n1n2(sanitize: str, batch_chunk=None) -> None:
     points = points_stream(200, 2, seed=3)
     elem = N1N2Skyline(dim=2, capacity=60, sanitize=sanitize)
     for p in points:
         elem.append(p)
-    batched = N1N2Skyline(dim=2, capacity=60, sanitize=sanitize)
+    batched = N1N2Skyline(
+        dim=2, capacity=60, sanitize=sanitize, batch_chunk=batch_chunk
+    )
     batched.append_many(points)
     for n1, n2 in ((1, 60), (10, 40), (60, 60)):
         check(
@@ -100,12 +106,14 @@ def smoke_n1n2(sanitize: str) -> None:
     batched.check_invariants()
 
 
-def smoke_skyband(sanitize: str) -> None:
+def smoke_skyband(sanitize: str, batch_chunk=None) -> None:
     points = points_stream(200, 2, seed=4)
     elem = KSkybandEngine(dim=2, capacity=50, k=3, sanitize=sanitize)
     for p in points:
         elem.append(p)
-    batched = KSkybandEngine(dim=2, capacity=50, k=3, sanitize=sanitize)
+    batched = KSkybandEngine(
+        dim=2, capacity=50, k=3, sanitize=sanitize, batch_chunk=batch_chunk
+    )
     batched.append_many(points)
     check(
         [e.kappa for e in batched.skyband()]
@@ -115,10 +123,12 @@ def smoke_skyband(sanitize: str) -> None:
     batched.check_invariants()
 
 
-def smoke_continuous(sanitize: str) -> None:
+def smoke_continuous(sanitize: str, batch_chunk=None) -> None:
     points = points_stream(150, 2, seed=5)
     manager = ContinuousQueryManager(
-        NofNSkyline(dim=2, capacity=40, sanitize=sanitize),
+        NofNSkyline(
+            dim=2, capacity=40, sanitize=sanitize, batch_chunk=batch_chunk
+        ),
         sanitize=sanitize,
     )
     handle = manager.register(25)
@@ -132,7 +142,9 @@ def smoke_continuous(sanitize: str) -> None:
     )
 
 
-def smoke_sharded(sanitize: str, shards: int, backends: tuple) -> None:
+def smoke_sharded(
+    sanitize: str, shards: int, backends: tuple, batch_chunk=None
+) -> None:
     points = points_stream(400, 2, seed=6)
     reference = NofNSkyline(dim=2, capacity=100)
     for p in points:
@@ -143,7 +155,7 @@ def smoke_sharded(sanitize: str, shards: int, backends: tuple) -> None:
     for backend in backends:
         with ShardedNofNSkyline(
             dim=2, capacity=100, shards=shards, backend=backend,
-            sanitize=sanitize,
+            sanitize=sanitize, batch_chunk=batch_chunk,
         ) as router:
             router.append_many(points[:250])
             for p in points[250:]:
@@ -167,7 +179,7 @@ def smoke_sharded(sanitize: str, shards: int, backends: tuple) -> None:
             router.check_invariants()
         with ShardedKSkyband(
             dim=2, capacity=100, k=2, shards=shards, backend=backend,
-            sanitize=sanitize,
+            sanitize=sanitize, batch_chunk=batch_chunk,
         ) as band:
             band.append_many(points)
             check(
@@ -223,6 +235,14 @@ def main() -> int:
         help="attach the invariant sanitizer to every engine",
     )
     parser.add_argument(
+        "--batch", action="store_true",
+        help="re-run the engine pass with small frozen-tree chunk sizes "
+             "(batch_chunk in {1, 7}) so the batched maintenance "
+             "pipeline crosses many chunk boundaries — bulk deletes, "
+             "bulk inserts and staleness repair all fire repeatedly "
+             "under whatever -O / sanitize mode is active",
+    )
+    parser.add_argument(
         "--shards", type=int, default=0, metavar="S",
         help="additionally smoke the sharded routers with S shards "
              "(0 = skip, the default)",
@@ -245,18 +265,21 @@ def main() -> int:
         # The env override reaches every "auto"-constructed engine in
         # this pass, including shard workers built from picklable specs.
         os.environ[LAYOUT_ENV] = args.rtree_layout
-    smoke_nofn(args.sanitize)
-    smoke_timewindow(args.sanitize)
-    smoke_n1n2(args.sanitize)
-    smoke_skyband(args.sanitize)
-    smoke_continuous(args.sanitize)
+    chunk_grid = (None, 1, 7) if args.batch else (None,)
+    for chunk in chunk_grid:
+        smoke_nofn(args.sanitize, chunk)
+        smoke_timewindow(args.sanitize, chunk)
+        smoke_n1n2(args.sanitize, chunk)
+        smoke_skyband(args.sanitize, chunk)
+        smoke_continuous(args.sanitize, chunk)
     smoke_corruption_check_survives_dash_o(args.sanitize)
     if args.shards:
         backends = (
             ("serial", "process") if args.shard_backend == "both"
             else (args.shard_backend,)
         )
-        smoke_sharded(args.sanitize, args.shards, backends)
+        for chunk in chunk_grid:
+            smoke_sharded(args.sanitize, args.shards, backends, chunk)
         if "process" in backends:
             smoke_shard_failure_surfaces(args.shards)
     mode = "optimized (-O)" if not __debug__ else "debug"
@@ -264,8 +287,9 @@ def main() -> int:
         f", shards={args.shards} ({args.shard_backend})"
         if args.shards else ""
     )
+    batch = ", batch-chunks={1, 7}" if args.batch else ""
     print(f"smoke_optimized: all engines OK "
-          f"[{mode}, sanitize={args.sanitize}{sharded}, "
+          f"[{mode}, sanitize={args.sanitize}{sharded}{batch}, "
           f"rtree-layout={args.rtree_layout}]")
     return 0
 

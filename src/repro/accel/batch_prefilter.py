@@ -24,18 +24,39 @@ just not fast).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 try:  # pragma: no cover - exercised implicitly by every batch test
     import numpy as _np
 except ImportError:  # pragma: no cover - the library must work without it
     _np = None
 
-__all__ = ["BatchPrefilter", "intra_batch_survivors"]
+__all__ = ["BatchPrefilter", "intra_batch_survivors", "resolve_batch_chunk"]
 
 #: Batches larger than this are processed in slices of this size so the
-#: pairwise dominance matrix stays small (``CHUNK^2`` booleans).
+#: pairwise dominance matrix stays small (``CHUNK^2`` booleans).  The
+#: engines' ``batch_chunk`` knob overrides it per instance; this module
+#: constant is the single source of the default
+#: (:func:`resolve_batch_chunk`).
 CHUNK = 1024
+
+
+def resolve_batch_chunk(batch_chunk: Optional[int]) -> int:
+    """Resolve an engine's ``batch_chunk`` knob to an effective chunk.
+
+    ``None`` (the default everywhere) means :data:`CHUNK`.
+
+    Raises
+    ------
+    ValueError
+        If ``batch_chunk`` is given and smaller than 1.
+    """
+    if batch_chunk is None:
+        return CHUNK
+    chunk = int(batch_chunk)
+    if chunk < 1:
+        raise ValueError(f"batch_chunk must be >= 1, got {batch_chunk}")
+    return chunk
 
 
 class BatchPrefilter:
@@ -149,6 +170,15 @@ class BatchPrefilter:
         if _np is not None:
             return _np.flatnonzero(self._weak[:i, i])[::-1].tolist()
         return [h for h in range(i - 1, -1, -1) if self._weak[h][i]]
+
+    def older_weak_victims(self, j: int) -> List[int]:
+        """Batch indices ``h < j`` weakly dominated by ``j``, ascending —
+        the already-arrived members whose younger-dominator counts grow
+        when member ``j`` arrives (the batch-side mirror of an R-tree
+        dominance report)."""
+        if _np is not None:
+            return _np.flatnonzero(self._weak[j, :j]).tolist()
+        return [h for h in range(j) if self._weak[j][h]]
 
     def weakly_dominates(self, a: int, b: int) -> bool:
         """Whether batch member ``a`` weakly dominates member ``b``."""

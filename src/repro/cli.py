@@ -103,6 +103,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="ingest through the batched fast path, B points "
                           "per append_many call (aligned to --every "
                           "boundaries); prints batch stats at the end")
+    win.add_argument("--batch-chunk", type=int, default=None, metavar="C",
+                     help="internal chunk size of the batched pipeline: "
+                          "each append_many call is processed in slices "
+                          "of at most C elements (prefilter matrix, bulk "
+                          "R-tree searches and flushes are per-slice); "
+                          "default is the library chunk (1024)")
     win.add_argument("--sanitize", default="off", choices=list(MODES),
                      help="runtime invariant checking: verify the paper's "
                           "structural theorems after every arrival (full), "
@@ -198,6 +204,8 @@ def _cmd_window(args: argparse.Namespace, out: TextIO) -> int:
         raise ValueError("--band must be >= 1")
     if args.batch is not None and args.batch < 1:
         raise ValueError("--batch must be >= 1")
+    if args.batch_chunk is not None and args.batch_chunk < 1:
+        raise ValueError("--batch-chunk must be >= 1")
 
     if args.shards < 1:
         raise ValueError("--shards must be >= 1")
@@ -252,6 +260,7 @@ def _build_window_engine(args: argparse.Namespace, dim: int) -> WindowEngine:
                 query_cache=query_cache,
                 kernels=args.kernels,
                 rtree_layout=args.rtree_layout,
+                batch_chunk=args.batch_chunk,
                 replicas=replicas,
                 replica_lag=replica_lag,
             )
@@ -264,6 +273,7 @@ def _build_window_engine(args: argparse.Namespace, dim: int) -> WindowEngine:
             query_cache=query_cache,
             kernels=args.kernels,
             rtree_layout=args.rtree_layout,
+            batch_chunk=args.batch_chunk,
             replicas=replicas,
             replica_lag=replica_lag,
         )
@@ -276,6 +286,7 @@ def _build_window_engine(args: argparse.Namespace, dim: int) -> WindowEngine:
             query_cache=query_cache,
             kernels=args.kernels,
             rtree_layout=args.rtree_layout,
+            batch_chunk=args.batch_chunk,
         )
     return NofNSkyline(
         dim=dim,
@@ -284,6 +295,7 @@ def _build_window_engine(args: argparse.Namespace, dim: int) -> WindowEngine:
         query_cache=query_cache,
         kernels=args.kernels,
         rtree_layout=args.rtree_layout,
+        batch_chunk=args.batch_chunk,
     )
 
 

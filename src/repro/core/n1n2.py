@@ -36,9 +36,13 @@ at most once, keeping updates amortised ``O(log N)``.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, cast
 
-from repro.accel.batch_prefilter import BatchPrefilter, CHUNK, iter_chunks
+from repro.accel.batch_prefilter import (
+    BatchPrefilter,
+    iter_chunks,
+    resolve_batch_chunk,
+)
 from repro.accel.stab_cache import StabCache
 from repro.core.element import StreamElement
 from repro.core.stats import EngineStats
@@ -49,7 +53,7 @@ from repro.exceptions import (
 )
 from repro.sanitize.sanitizer import InvariantSanitizer, SanitizeArg
 from repro.structures.interval_tree import IntervalHandle, IntervalTree
-from repro.structures.rtree_soa import make_rtree
+from repro.structures.rtree_soa import SoARTree, make_rtree
 
 
 class _WindowRecord:
@@ -88,8 +92,8 @@ class N1N2Skyline:
         Runtime invariant checking: ``"off"`` (default), ``"sampled"``,
         ``"full"``, or a shared
         :class:`~repro.sanitize.InvariantSanitizer`.
-    query_cache / kernels / rtree_layout:
-        Query fast-path knobs (see
+    query_cache / kernels / rtree_layout / batch_chunk:
+        Query and batched-ingest knobs (see
         :class:`~repro.core.nofn.NofNSkyline`).  Each interval tree
         (``I_RN`` and ``I_RN-``) gets its own versioned stab cache; the
         cached answers are the *raw* stab lists, post-filtered per query
@@ -113,6 +117,7 @@ class N1N2Skyline:
         query_cache: bool = True,
         kernels: str = "auto",
         rtree_layout: str = "auto",
+        batch_chunk: Optional[int] = None,
     ) -> None:
         if capacity < 1:
             raise InvalidWindowError(f"capacity must be >= 1, got {capacity}")
@@ -120,6 +125,7 @@ class N1N2Skyline:
             raise ValueError(f"dimension must be >= 1, got {dim}")
         self.dim = dim
         self.capacity = capacity
+        self._batch_chunk = resolve_batch_chunk(batch_chunk)
         self._sanitizer = InvariantSanitizer.coerce(sanitize)
         self._m = 0
         self._records: Dict[int, _WindowRecord] = {}
@@ -209,7 +215,7 @@ class N1N2Skyline:
         started = perf_counter()
         elements = self._batch_elements(points, payloads)
         dropped = 0
-        chunk = min(CHUNK, self.capacity)
+        chunk = min(self._batch_chunk, self.capacity)
         for lo, hi in iter_chunks(len(elements), chunk):
             dropped += self._arrive_chunk(elements, lo, hi)
             if self._sanitizer is not None:
@@ -242,6 +248,15 @@ class N1N2Skyline:
         return elements
 
     def _arrive_chunk(
+        self, elements: List[StreamElement], lo: int, hi: int
+    ) -> int:
+        """Ingest ``elements[lo:hi]``, dispatching to the frozen-tree
+        pipeline when the R-tree supports bulk maintenance."""
+        if isinstance(self._rtree, SoARTree):
+            return self._arrive_chunk_soa(elements, lo, hi)
+        return self._arrive_chunk_fallback(elements, lo, hi)
+
+    def _arrive_chunk_fallback(
         self, elements: List[StreamElement], lo: int, hi: int
     ) -> int:
         """Ingest ``elements[lo:hi]`` (at most ``capacity`` of them, so
@@ -326,8 +341,146 @@ class N1N2Skyline:
             )
         return pre.dropped
 
-    def _expire(self, record: _WindowRecord) -> None:
-        """Drop the oldest window element, re-rooting its dependents."""
+    def _arrive_chunk_soa(
+        self, elements: List[StreamElement], lo: int, hi: int
+    ) -> int:
+        """Frozen-tree variant of :meth:`_arrive_chunk_fallback`.
+
+        All R-tree mutations the chunk causes are deferred: demotions
+        and expiries accumulate into one bulk
+        :meth:`~repro.structures.rtree_soa.SoARTree.delete_many` and the
+        chunk's surviving members land with one
+        :meth:`~repro.structures.rtree_soa.SoARTree.insert_many`, so the
+        tree is searched (and re-summarised) once per chunk instead of
+        once per element.  The tree therefore stays at its chunk-start
+        state throughout; the two batched searches below answer every
+        member's demotion report and critical-ancestor query against
+        that frozen state, and per-arrival staleness is repaired with
+        window-membership (``_records``) and ``in_rn`` checks.  Chunk
+        members themselves never appear in the frozen answers, so the
+        intra-chunk prefilter stream is merged in first — chunk kappas
+        outrank every indexed kappa, making the first logically-alive
+        intra candidate automatically the youngest.
+        """
+        chunk = elements[lo:hi]
+        points = [e.values for e in chunk]
+        pre = BatchPrefilter(points, k=1)
+        base_kappa = chunk[0].kappa
+        # The dispatcher only routes here for the SoA layout.
+        rtree = cast(SoARTree, self._rtree)
+        victims0 = rtree.report_dominated_batch(points)
+        parents0 = rtree.max_kappa_dominator_batch(points)
+
+        deferred_deletes: List[int] = []
+        deferred_inserts: Dict[int, _WindowRecord] = {}
+
+        def defer_delete(kappa: int) -> None:
+            if deferred_inserts.pop(kappa, None) is None:
+                deferred_deletes.append(kappa)
+
+        alive_doomed: Dict[int, _WindowRecord] = {}
+        live_rn = len(rtree)  # |R_N| were the deferred flushes applied
+        for i, element in enumerate(chunk):
+            kappa = element.kappa
+            self._m = kappa
+
+            expired = 0
+            leaving = kappa - self.capacity
+            if leaving >= 1:
+                leaving_record = self._records[leaving]
+                if leaving_record.in_rn:
+                    live_rn -= 1
+                self._expire(leaving_record, defer_delete)
+                expired = 1
+
+            demoted = 0
+            for entry in victims0[i]:
+                victim = self._records.get(entry.kappa)
+                if victim is None:
+                    continue  # expired earlier in the chunk
+                self._demote(victim, b_kappa=kappa)
+                defer_delete(entry.kappa)
+                live_rn -= 1
+                demoted += 1
+            for h in pre.killed_at(i):
+                if alive_doomed.pop(base_kappa + h, None) is not None:
+                    demoted += 1
+
+            record = _WindowRecord(element)
+            # Youngest logically-alive older dominator: intra-chunk
+            # candidates first (surviving members sit in
+            # ``deferred_inserts``, doomed-but-unkilled ones in
+            # ``alive_doomed`` — neither is in the frozen tree), then
+            # the frozen-tree answer, stale-walked past members the
+            # chunk has already expired or demoted.
+            parent: Optional[_WindowRecord] = None
+            for h in pre.older_weak_dominators(i):
+                kappa_h = base_kappa + h
+                candidate = alive_doomed.get(kappa_h)
+                if candidate is None:
+                    record_h = self._records.get(kappa_h)
+                    if record_h is not None and record_h.in_rn:
+                        candidate = record_h
+                if candidate is not None:
+                    parent = candidate
+                    break
+            if parent is None:
+                parent_entry = parents0[i]
+                while parent_entry is not None:
+                    stale = self._records.get(parent_entry.kappa)
+                    if stale is not None and stale.in_rn:
+                        parent = stale
+                        break
+                    parent_entry = rtree.max_kappa_dominator(
+                        element.values, kappa_below=parent_entry.kappa
+                    )
+            if parent is not None:
+                record.a_kappa = parent.element.kappa
+                parent.dependents.add(kappa)
+            if pre.is_doomed(i):
+                record.b_kappa = base_kappa + pre.kill[i]
+                record.in_rn = False
+                record.handle = self._superseded.insert(
+                    float(record.a_kappa), float(kappa), record
+                )
+                alive_doomed[kappa] = record
+            else:
+                record.handle = self._live.insert(
+                    float(record.a_kappa), float(kappa), record
+                )
+                deferred_inserts[kappa] = record
+                live_rn += 1
+            self._records[kappa] = record
+
+            self.stats.record_arrival(
+                expired=expired,
+                dominated=demoted,
+                rn_size=live_rn + len(alive_doomed),
+            )
+        if alive_doomed:
+            raise StructureCorruptionError(
+                f"{len(alive_doomed)} doomed batch members survived their chunk"
+            )
+        if deferred_deletes:
+            rtree.delete_many(deferred_deletes)
+        if deferred_inserts:
+            survivors = list(deferred_inserts.values())
+            rtree.insert_many(
+                [r.element.values for r in survivors],
+                [r.element.kappa for r in survivors],
+                survivors,
+            )
+        return pre.dropped
+
+    def _expire(
+        self,
+        record: _WindowRecord,
+        defer: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Drop the oldest window element, re-rooting its dependents.
+
+        ``defer``, when given, receives the R-tree deletion instead of
+        it being applied immediately (the batched frozen-tree path)."""
         if record.a_kappa != 0:
             raise StructureCorruptionError(
                 f"expiring element {record.element.kappa} of P_N still has "
@@ -343,7 +496,10 @@ class N1N2Skyline:
         tree.remove(record.handle)
         record.handle = None
         if record.in_rn:
-            self._rtree.delete(record.element.kappa)
+            if defer is None:
+                self._rtree.delete(record.element.kappa)
+            else:
+                defer(record.element.kappa)
         del self._records[record.element.kappa]
 
     def _demote(self, record: _WindowRecord, b_kappa: int) -> None:
@@ -492,6 +648,12 @@ class N1N2Skyline:
         requested policy; the effective layout is
         ``engine._rtree.layout``)."""
         return self._rtree_layout
+
+    @property
+    def batch_chunk(self) -> int:
+        """The effective batched-ingest chunk size (the ``batch_chunk``
+        knob, or the library default when unset)."""
+        return self._batch_chunk
 
     def cache_stats(self) -> Optional[Dict[str, int]]:
         """Combined hit/miss/rebuild counters of the two stab caches

@@ -34,9 +34,13 @@ in section 6).
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Any, Dict, List, Optional, Sequence, Set
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, cast
 
-from repro.accel.batch_prefilter import BatchPrefilter, CHUNK, iter_chunks
+from repro.accel.batch_prefilter import (
+    BatchPrefilter,
+    iter_chunks,
+    resolve_batch_chunk,
+)
 from repro.accel.stab_cache import StabCache
 from repro.core.element import StreamElement
 from repro.core.events import ArrivalOutcome, BatchOutcome, ExpiredRecord
@@ -49,7 +53,7 @@ from repro.exceptions import (
 from repro.sanitize.sanitizer import InvariantSanitizer, SanitizeArg
 from repro.structures.interval_tree import IntervalHandle, IntervalTree
 from repro.structures.labelset import LabelSet
-from repro.structures.rtree_soa import make_rtree
+from repro.structures.rtree_soa import SoARTree, make_rtree
 
 
 class _Record:
@@ -109,6 +113,12 @@ class NofNSkyline:
         override — the default), ``"soa"`` or ``"pointer"``.  See
         :mod:`repro.structures.rtree_soa`; both layouts answer every
         search identically (property-tested).
+    batch_chunk:
+        Slice size of the :meth:`append_many` pipeline (``None`` — the
+        default — means :data:`repro.accel.batch_prefilter.CHUNK`).
+        Larger chunks amortise more index work per NumPy call; chunks
+        are also the granularity of sanitizer verification during a
+        batch.  Must be ``>= 1``.
 
     Notes
     -----
@@ -129,6 +139,7 @@ class NofNSkyline:
         query_cache: bool = True,
         kernels: str = "auto",
         rtree_layout: str = "auto",
+        batch_chunk: Optional[int] = None,
     ) -> None:
         if capacity < 1:
             raise InvalidWindowError(f"capacity must be >= 1, got {capacity}")
@@ -136,6 +147,7 @@ class NofNSkyline:
             raise ValueError(f"dimension must be >= 1, got {dim}")
         self.dim = dim
         self.capacity = capacity
+        self._batch_chunk = resolve_batch_chunk(batch_chunk)
         self._sanitizer = InvariantSanitizer.coerce(sanitize)
         self._m = 0
         self._records: Dict[int, _Record] = {}
@@ -302,7 +314,7 @@ class NofNSkyline:
         started = perf_counter()
         outcomes: List[ArrivalOutcome] = []
         dropped = 0
-        for lo, hi in iter_chunks(len(elements)):
+        for lo, hi in iter_chunks(len(elements), self._batch_chunk):
             dropped += self._arrive_chunk(elements, labels, lo, hi, outcomes)
             if self._sanitizer is not None:
                 self._sanitizer.maybe_verify(self)
@@ -322,6 +334,61 @@ class NofNSkyline:
     ) -> int:
         """Ingest ``elements[lo:hi]``, appending one outcome per element.
 
+        Dispatches to the fully batched pipeline when the dominance
+        index is the SoA layout (batch searches + deferred bulk
+        mutation); the pointer layout keeps the per-element loop.
+        """
+        if isinstance(self._rtree, SoARTree):
+            return self._arrive_chunk_soa(elements, labels, lo, hi, outcomes)
+        return self._arrive_chunk_fallback(elements, labels, lo, hi, outcomes)
+
+    def _chunk_expiry_gate(
+        self, labels: List[float], lo: int, hi: int
+    ) -> bool:
+        """Once-per-chunk expiry gate: if neither the oldest live label
+        nor the chunk's own first label can fall below the window start
+        as of the chunk's *last* arrival, no arrival in the chunk can
+        expire anything (thresholds are monotone)."""
+        threshold_end = self._final_threshold(labels[hi - 1], hi - lo)
+        return labels[lo] < threshold_end or (
+            bool(self._labels) and self._labels.oldest()[0] < threshold_end
+        )
+
+    def _expire_step(
+        self,
+        threshold: float,
+        pending: Dict[int, _Record],
+        defer: Optional[Callable[[int], None]] = None,
+    ) -> List[ExpiredRecord]:
+        """Run one arrival's merged pending/indexed expiry sweep."""
+        expired: List[ExpiredRecord] = []
+        while True:
+            tree_oldest = self._labels.oldest() if self._labels else None
+            pend_oldest = pending[next(iter(pending))] if pending else None
+            if tree_oldest is not None and (
+                pend_oldest is None or tree_oldest[0] <= pend_oldest.label
+            ):
+                if tree_oldest[0] >= threshold:
+                    break
+                expired.append(self._expire(tree_oldest[1], pending, defer))
+            elif pend_oldest is not None:
+                if pend_oldest.label >= threshold:
+                    break
+                expired.append(self._expire_pending(pend_oldest, pending))
+            else:
+                break
+        return expired
+
+    def _arrive_chunk_fallback(
+        self,
+        elements: List[StreamElement],
+        labels: List[float],
+        lo: int,
+        hi: int,
+        outcomes: List[ArrivalOutcome],
+    ) -> int:
+        """Per-element chunk ingestion (pointer-layout dominance index).
+
         Doomed members (those the prefilter proved dominated by a
         younger same-chunk member) are parked in ``pending`` — logically
         part of ``R_N``, but never inserted into the index structures —
@@ -334,14 +401,7 @@ class NofNSkyline:
         """
         chunk = elements[lo:hi]
         pre = BatchPrefilter([e.values for e in chunk], k=1)
-        # Once-per-chunk expiry gate: if neither the oldest live label
-        # nor the chunk's own first label can fall below the window
-        # start as of the chunk's *last* arrival, no arrival in the
-        # chunk can expire anything (thresholds are monotone).
-        threshold_end = self._final_threshold(labels[hi - 1], hi - lo)
-        may_expire = labels[lo] < threshold_end or (
-            bool(self._labels) and self._labels.oldest()[0] < threshold_end
-        )
+        may_expire = self._chunk_expiry_gate(labels, lo, hi)
         pending: Dict[int, _Record] = {}
         for i, element in enumerate(chunk):
             label = labels[lo + i]
@@ -350,27 +410,9 @@ class NofNSkyline:
 
             expired: List[ExpiredRecord] = []
             if may_expire:
-                threshold = self._window_start(label)
-                while True:
-                    tree_oldest = self._labels.oldest() if self._labels else None
-                    pend_oldest = (
-                        pending[next(iter(pending))] if pending else None
-                    )
-                    if tree_oldest is not None and (
-                        pend_oldest is None
-                        or tree_oldest[0] <= pend_oldest.label
-                    ):
-                        if tree_oldest[0] >= threshold:
-                            break
-                        expired.append(self._expire(tree_oldest[1], pending))
-                    elif pend_oldest is not None:
-                        if pend_oldest.label >= threshold:
-                            break
-                        expired.append(
-                            self._expire_pending(pend_oldest, pending)
-                        )
-                    else:
-                        break
+                expired = self._expire_step(
+                    self._window_start(label), pending
+                )
 
             dominated: List[StreamElement] = []
             for entry in self._rtree.remove_dominated(element.values):
@@ -443,14 +485,164 @@ class NofNSkyline:
             )
         return pre.dropped
 
+    def _arrive_chunk_soa(
+        self,
+        elements: List[StreamElement],
+        labels: List[float],
+        lo: int,
+        hi: int,
+        outcomes: List[ArrivalOutcome],
+    ) -> int:
+        """Fully batched chunk ingestion over the SoA dominance index.
+
+        The index is *frozen* for the duration of the chunk: both
+        chunk-wide searches (:meth:`SoARTree.report_dominated_batch`,
+        :meth:`SoARTree.max_kappa_dominator_batch`) run once up front
+        against the chunk-start state, every per-arrival mutation is
+        deferred, and the chunk flushes with one
+        :meth:`SoARTree.delete_many` + one :meth:`SoARTree.insert_many`.
+        Per-element semantics are reconstructed exactly:
+
+        * dominance victims carry first-arrival attribution, and an
+          arrival skips victims another arrival (or an expiry) already
+          removed — the aliveness check against ``self._records``;
+        * a chunk survivor is never dominated by any chunk member (the
+          prefilter would have doomed it), so survivors installed
+          mid-chunk only ever *leave* via expiry — handled by dropping
+          their deferred insert;
+        * critical parents resolve intra-chunk candidates from the
+          prefilter's dominance matrix (youngest alive wins — chunk
+          kappas exceed every indexed kappa) and fall back to the
+          frozen-tree answer, walked past entries that died mid-chunk
+          via ``max_kappa_dominator(kappa_below=...)``.
+        """
+        chunk = elements[lo:hi]
+        points = [e.values for e in chunk]
+        pre = BatchPrefilter(points, k=1)
+        may_expire = self._chunk_expiry_gate(labels, lo, hi)
+        # The dispatcher only routes here for the SoA layout.
+        rtree = cast(SoARTree, self._rtree)
+        victims0 = rtree.report_dominated_batch(points)
+        parents0 = rtree.max_kappa_dominator_batch(points)
+        deferred_deletes: List[int] = []
+        deferred_inserts: Dict[int, _Record] = {}
+
+        def defer_delete(kappa: int) -> None:
+            if deferred_inserts.pop(kappa, None) is None:
+                deferred_deletes.append(kappa)
+
+        pending: Dict[int, _Record] = {}
+        for i, element in enumerate(chunk):
+            label = labels[lo + i]
+            self._m = element.kappa
+            self._note_arrival(label)
+
+            expired: List[ExpiredRecord] = []
+            if may_expire:
+                expired = self._expire_step(
+                    self._window_start(label), pending, defer_delete
+                )
+
+            dominated: List[StreamElement] = []
+            for entry in victims0[i]:
+                tree_record = self._records.get(entry.kappa)
+                if tree_record is None:
+                    continue  # expired earlier in the chunk
+                self._detach(tree_record)
+                defer_delete(entry.kappa)
+                dominated.append(tree_record.element)
+            for h in pre.killed_at(i):
+                doomed = pending.pop(chunk[h].kappa, None)
+                if doomed is None:
+                    continue  # already expired
+                parent = self._records.get(doomed.parent_kappa)
+                if parent is None:
+                    parent = pending.get(doomed.parent_kappa)
+                if parent is not None:
+                    parent.children.discard(doomed.element.kappa)
+                dominated.append(doomed.element)
+
+            record = _Record(element, label)
+            # Intra-chunk parent candidates, youngest first.  Any alive
+            # candidate outranks the whole frozen tree (chunk kappas are
+            # the largest in the window).  For survivors only installed
+            # chunk survivors can qualify — an *alive* pending dominator
+            # would imply the survivor is doomed (transitivity).
+            best: Optional[_Record] = None
+            for h in pre.older_weak_dominators(i):
+                kappa_h = chunk[h].kappa
+                best = pending.get(kappa_h) or self._records.get(kappa_h)
+                if best is not None:
+                    break
+                # killed or expired already — keep walking
+            if best is None:
+                parent_entry = parents0[i]
+                while (
+                    parent_entry is not None
+                    and parent_entry.kappa not in self._records
+                ):
+                    # The frozen-tree answer died mid-chunk: descend.
+                    parent_entry = rtree.max_kappa_dominator(
+                        element.values, kappa_below=parent_entry.kappa
+                    )
+                if parent_entry is not None:
+                    best = parent_entry.data
+            if best is not None:
+                record.parent_kappa = best.element.kappa
+                best.children.add(element.kappa)
+            if pre.is_doomed(i):
+                pending[element.kappa] = record
+            else:
+                low = 0.0 if best is None else best.label
+                record.handle = self._intervals.insert(low, label, record)
+                deferred_inserts[element.kappa] = record
+                self._labels.append(label, record)
+                self._records[element.kappa] = record
+
+            self.stats.record_arrival(
+                expired=len(expired),
+                dominated=len(dominated),
+                rn_size=len(self._records) + len(pending),
+            )
+            outcomes.append(
+                ArrivalOutcome(
+                    element=element,
+                    seen_so_far=element.kappa,
+                    dominated_removed=tuple(dominated),
+                    parent_kappa=record.parent_kappa,
+                    expired=tuple(expired),
+                )
+            )
+        if pending:
+            raise StructureCorruptionError(
+                f"{len(pending)} doomed batch members survived their chunk"
+            )
+        if deferred_deletes:
+            rtree.delete_many(deferred_deletes)
+        if deferred_inserts:
+            survivors = list(deferred_inserts.values())
+            entries = rtree.insert_many(
+                [r.element.values for r in survivors],
+                [r.element.kappa for r in survivors],
+                survivors,
+            )
+            for survivor, entry in zip(survivors, entries):
+                survivor.entry = entry
+        return pre.dropped
+
     def _expire(
-        self, record: _Record, pending: Optional[Dict[int, _Record]] = None
+        self,
+        record: _Record,
+        pending: Optional[Dict[int, _Record]] = None,
+        defer: Optional[Callable[[int], None]] = None,
     ) -> ExpiredRecord:
         """Remove an expired root from ``R_N``, re-rooting its children.
 
         ``pending`` is supplied by the batched path: a child may be a
         doomed batch member awaiting its in-batch killer — it has no
-        interval yet, only a parent link to clear.
+        interval yet, only a parent link to clear.  ``defer`` (the
+        frozen-tree pipeline) replaces the R-tree delete with a
+        deferred-mutation callback.
         """
         if record.parent_kappa != 0:
             raise StructureCorruptionError(
@@ -475,7 +667,10 @@ class NofNSkyline:
             child.parent_kappa = 0
             children_elements.append(child.element)
         self._intervals.remove(record.handle)
-        self._rtree.delete(record.element.kappa)
+        if defer is None:
+            self._rtree.delete(record.element.kappa)
+        else:
+            defer(record.element.kappa)
         self._labels.remove(record.label)
         del self._records[record.element.kappa]
         record.handle = None
@@ -642,6 +837,12 @@ class NofNSkyline:
         requested policy; the effective layout is
         ``engine._rtree.layout``)."""
         return self._rtree_layout
+
+    @property
+    def batch_chunk(self) -> int:
+        """Effective :meth:`append_many` chunk size (the ``batch_chunk``
+        knob, with ``None`` resolved to the module default)."""
+        return self._batch_chunk
 
     def cache_stats(self) -> Optional[Dict[str, int]]:
         """Hit/miss/rebuild counters of the query cache (``None`` when

@@ -110,6 +110,7 @@ def _snapshot_sharded(
             "cache": router._query_cache,
             "kernels": router.kernel_policy,
         },
+        "batch_chunk": router.batch_chunk,
         "replicas": {
             "mode": router.replica_mode,
             "lag": router.replica_lag,
@@ -143,6 +144,7 @@ def _snapshot_nofn(engine: NofNSkyline) -> Dict[str, Any]:
         "stats": engine.stats.snapshot_raw(),
         "rtree": _rtree_config(engine),
         "query": _query_config(engine),
+        "batch_chunk": engine.batch_chunk,
         "sanitize": engine.sanitize_mode,
     }
     if isinstance(engine, TimeWindowSkyline):
@@ -204,6 +206,7 @@ def _snapshot_n1n2(engine: N1N2Skyline) -> Dict[str, Any]:
         "stats": engine.stats.snapshot_raw(),
         "rtree": _rtree_config(engine),
         "query": _query_config(engine),
+        "batch_chunk": engine.batch_chunk,
         "sanitize": engine.sanitize_mode,
     }
 
@@ -246,6 +249,7 @@ def restore(
                 sanitize=sanitize,
                 **_rtree_kwargs(snap),
                 **_query_kwargs(snap),
+                **_batch_kwargs(snap),
             ),
         )
     if kind == "timewindow":
@@ -255,6 +259,7 @@ def restore(
             sanitize=sanitize,
             **_rtree_kwargs(snap),
             **_query_kwargs(snap),
+            **_batch_kwargs(snap),
         )
         engine._now = float(snap["now"])
         return _restore_nofn(snap, engine)
@@ -279,6 +284,7 @@ def _restore_sharded(
         sanitize=sanitize,
         **_rtree_kwargs(snap),
         **_query_kwargs(snap),
+        **_batch_kwargs(snap),
         **_replica_kwargs(snap, chosen),
     )
     router: Union[ShardedNofNSkyline, ShardedKSkyband]
@@ -348,6 +354,16 @@ def _rtree_kwargs(snap: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def _batch_kwargs(snap: Dict[str, Any]) -> Dict[str, Any]:
+    """Batched-ingest kwargs from a snapshot.
+
+    Snapshots written before the ``batch_chunk`` knob was recorded lack
+    the key; ``None`` restores the library default chunk size.
+    """
+    raw = snap.get("batch_chunk")
+    return {"batch_chunk": None if raw is None else int(raw)}
+
+
 def _query_kwargs(snap: Dict[str, Any]) -> Dict[str, Any]:
     """Query fast-path kwargs from a snapshot.
 
@@ -406,6 +422,7 @@ def _restore_n1n2(
         sanitize=sanitize,
         **_rtree_kwargs(snap),
         **_query_kwargs(snap),
+        **_batch_kwargs(snap),
     )
     engine._m = int(snap["seen_so_far"])
     by_kappa: Dict[int, _WindowRecord] = {}

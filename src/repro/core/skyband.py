@@ -45,9 +45,13 @@ exactly (property-tested).
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, cast
 
-from repro.accel.batch_prefilter import BatchPrefilter, CHUNK, iter_chunks
+from repro.accel.batch_prefilter import (
+    BatchPrefilter,
+    iter_chunks,
+    resolve_batch_chunk,
+)
 from repro.accel.stab_cache import StabCache
 from repro.core.element import StreamElement
 from repro.core.stats import EngineStats
@@ -59,7 +63,7 @@ from repro.exceptions import (
 from repro.sanitize.sanitizer import InvariantSanitizer, SanitizeArg
 from repro.structures.interval_tree import IntervalHandle, IntervalTree
 from repro.structures.labelset import LabelSet
-from repro.structures.rtree_soa import make_rtree
+from repro.structures.rtree_soa import SoARTree, make_rtree
 
 
 class _BandRecord:
@@ -98,12 +102,14 @@ class KSkybandEngine:
         Runtime invariant checking: ``"off"`` (default), ``"sampled"``,
         ``"full"``, or a shared
         :class:`~repro.sanitize.InvariantSanitizer`.
-    query_cache / kernels / rtree_layout:
-        Query fast-path knobs (see
+    query_cache / kernels / rtree_layout / batch_chunk:
+        Query and batched-ingest knobs (see
         :class:`~repro.core.nofn.NofNSkyline`): the versioned stab
         cache behind :meth:`query`, the vectorised R-tree leaf-search
-        policy, and the dominance-index layout
-        (``"auto"``/``"soa"``/``"pointer"``).
+        policy, the dominance-index layout
+        (``"auto"``/``"soa"``/``"pointer"``), and the
+        :meth:`append_many` slice size (clamped to ``capacity`` here so
+        no chunk member can expire before its in-chunk pruner arrives).
     """
 
     def __init__(
@@ -118,6 +124,7 @@ class KSkybandEngine:
         query_cache: bool = True,
         kernels: str = "auto",
         rtree_layout: str = "auto",
+        batch_chunk: Optional[int] = None,
     ) -> None:
         if capacity < 1:
             raise InvalidWindowError(f"capacity must be >= 1, got {capacity}")
@@ -128,6 +135,7 @@ class KSkybandEngine:
         self.dim = dim
         self.capacity = capacity
         self.k = k
+        self._batch_chunk = resolve_batch_chunk(batch_chunk)
         self._sanitizer = InvariantSanitizer.coerce(sanitize)
         self._m = 0
         self._records: Dict[int, _BandRecord] = {}
@@ -257,7 +265,7 @@ class KSkybandEngine:
         in-chunk ``k``-th dominator arrives (kappas are consecutive
         here; the sharded sub-stream variant tightens this for its
         strided kappa sequence)."""
-        return min(CHUNK, self.capacity)
+        return min(self._batch_chunk, self.capacity)
 
     def _ingest_elements(self, elements: List[StreamElement]) -> None:
         """Run the chunked batch-arrival loop over validated elements
@@ -295,6 +303,15 @@ class KSkybandEngine:
         return elements
 
     def _arrive_chunk(
+        self, elements: List[StreamElement], lo: int, hi: int
+    ) -> int:
+        """Ingest ``elements[lo:hi]``, batched when the dominance index
+        is the SoA layout, per-element otherwise."""
+        if isinstance(self._rtree, SoARTree):
+            return self._arrive_chunk_soa(elements, lo, hi)
+        return self._arrive_chunk_fallback(elements, lo, hi)
+
+    def _arrive_chunk_fallback(
         self, elements: List[StreamElement], lo: int, hi: int
     ) -> int:
         """Ingest ``elements[lo:hi]`` (at most ``capacity`` of them, so
@@ -405,6 +422,175 @@ class KSkybandEngine:
                 f"{len(pending)} doomed batch members survived their chunk"
             )
         return pre.dropped
+
+    def _arrive_chunk_soa(
+        self, elements: List[StreamElement], lo: int, hi: int
+    ) -> int:
+        """Fully batched chunk ingestion over the SoA dominance index.
+
+        The index is frozen for the chunk: one chunk-wide dominance
+        report (all-attribution — every arrival sees its own victims,
+        since each hit increments a younger-dominator count) runs up
+        front, every mutation is deferred, and the chunk flushes with
+        one :meth:`SoARTree.delete_many` + one
+        :meth:`SoARTree.insert_many`.  Per-element semantics are
+        reconstructed exactly:
+
+        * a frozen-tree victim only counts while its record is still
+          retained (aliveness against ``self._records``);
+        * increments *from* chunk survivors *to* chunk survivors come
+          from the prefilter's dominance matrix
+          (:meth:`BatchPrefilter.older_weak_victims`) — the prefilter
+          bound guarantees they stay below ``k``, so mid-chunk
+          survivors reseat but never demote;
+        * older-dominator lists merge the intra-chunk stream (alive
+          pending members and installed survivors, youngest first — all
+          younger than anything indexed) with the frozen-tree stream,
+          skipping entries that died mid-chunk.
+        """
+        chunk = elements[lo:hi]
+        points = [e.values for e in chunk]
+        pre = BatchPrefilter(points, k=self.k)
+        threshold_end = chunk[-1].kappa - self.capacity + 1
+        may_expire = bool(self._labels) and self._labels.oldest()[0] < threshold_end
+        # The dispatcher only routes here for the SoA layout.
+        rtree = cast(SoARTree, self._rtree)
+        victims0 = rtree.report_dominated_batch(points, first_only=False)
+        deferred_deletes: List[int] = []
+        deferred_inserts: Dict[int, _BandRecord] = {}
+        pending: Dict[int, StreamElement] = {}
+        for i, element in enumerate(chunk):
+            self._m = element.kappa
+
+            expired = 0
+            if may_expire:
+                threshold = self._m - self.capacity + 1
+                while self._labels:
+                    oldest_kappa, oldest = self._labels.oldest()
+                    if oldest_kappa >= threshold:
+                        break
+                    self._discard_deferred(
+                        oldest, deferred_deletes, deferred_inserts
+                    )
+                    expired += 1
+
+            # Merged top-k older strict dominator search (computed
+            # before this arrival's pruning, as per element).  Every
+            # intra-chunk candidate outranks the whole frozen tree, so
+            # the merge is: intra stream first (alive pending members
+            # and installed survivors, youngest first), then the
+            # frozen-tree stream with mid-chunk casualties skipped.
+            older_doms: List[int] = []
+            if not pre.is_doomed(i):
+                for h in pre.older_weak_dominators(i):
+                    if len(older_doms) >= self.k:
+                        break
+                    kappa_h = chunk[h].kappa
+                    if kappa_h in pending:
+                        candidate_values = pending[kappa_h].values
+                    elif kappa_h in self._records:
+                        candidate_values = self._records[kappa_h].element.values
+                    else:
+                        continue  # pruned or expired mid-chunk
+                    # Duplicate-identity check (tie rule), as per element.
+                    if candidate_values != element.values:  # lint: skip=REPRO004
+                        older_doms.append(kappa_h)
+                bound: Optional[int] = None
+                while len(older_doms) < self.k:
+                    entry = rtree.max_kappa_dominator(
+                        element.values, kappa_below=bound
+                    )
+                    if entry is None:
+                        break
+                    bound = entry.kappa
+                    if entry.kappa not in self._records:
+                        continue  # died mid-chunk: not a witness anymore
+                    # Duplicate-identity check (tie rule), as per element.
+                    if entry.point != element.values:  # lint: skip=REPRO004
+                        older_doms.append(entry.kappa)
+
+            demoted = 0
+            for entry in victims0[i]:
+                dominated_record = self._records.get(entry.kappa)
+                if dominated_record is None:
+                    continue  # already pruned or expired this chunk
+                dominated_record.younger += 1
+                if dominated_record.younger >= self.k:
+                    self._discard_deferred(
+                        dominated_record, deferred_deletes, deferred_inserts
+                    )
+                    demoted += 1
+                else:
+                    self._reseat(dominated_record)
+            for h in pre.older_weak_victims(i):
+                survivor = self._records.get(chunk[h].kappa)
+                if survivor is None:
+                    continue  # pending (no index state) or already gone
+                survivor.younger += 1
+                if survivor.younger >= self.k:  # pragma: no cover
+                    # Unreachable by the prefilter bound; kept for the
+                    # same defensive shape as the frozen-tree branch.
+                    self._discard_deferred(
+                        survivor, deferred_deletes, deferred_inserts
+                    )
+                    demoted += 1
+                else:
+                    self._reseat(survivor)
+            for h in pre.killed_at(i):
+                if pending.pop(chunk[h].kappa, None) is not None:
+                    demoted += 1
+
+            if pre.is_doomed(i):
+                pending[element.kappa] = element
+            else:
+                record = _BandRecord(element)
+                record.older_doms = older_doms
+                record.handle = self._intervals.insert(
+                    float(self._threshold_kappa(record)),
+                    float(element.kappa),
+                    record,
+                )
+                deferred_inserts[element.kappa] = record
+                self._labels.append(element.kappa, record)
+                self._records[element.kappa] = record
+
+            self.stats.record_arrival(
+                expired=expired,
+                dominated=demoted,
+                rn_size=len(self._records) + len(pending),
+            )
+        if pending:
+            raise StructureCorruptionError(
+                f"{len(pending)} doomed batch members survived their chunk"
+            )
+        if deferred_deletes:
+            rtree.delete_many(deferred_deletes)
+        if deferred_inserts:
+            survivors = list(deferred_inserts.values())
+            rtree.insert_many(
+                [r.element.values for r in survivors],
+                [r.element.kappa for r in survivors],
+                survivors,
+            )
+        return pre.dropped
+
+    def _discard_deferred(
+        self,
+        record: _BandRecord,
+        deferred_deletes: List[int],
+        deferred_inserts: Dict[int, _BandRecord],
+    ) -> None:
+        """Deferred-mutation variant of :meth:`_discard`: the frozen
+        tree is flushed at chunk end, so the record's physical entry is
+        either queued for :meth:`SoARTree.delete_many` or simply dropped
+        from the pending inserts."""
+        kappa = record.element.kappa
+        self._intervals.remove(record.handle)
+        record.handle = None
+        self._labels.remove(kappa)
+        del self._records[kappa]
+        if deferred_inserts.pop(kappa, None) is None:
+            deferred_deletes.append(kappa)
 
     def _threshold_kappa(self, record: _BandRecord) -> int:
         """Position of the dominator whose window-exit admits ``record``.
@@ -533,6 +719,12 @@ class KSkybandEngine:
         requested policy; the effective layout is
         ``engine._rtree.layout``)."""
         return self._rtree_layout
+
+    @property
+    def batch_chunk(self) -> int:
+        """The effective batched-ingest chunk size (the ``batch_chunk``
+        knob, or the library default when unset)."""
+        return self._batch_chunk
 
     def cache_stats(self) -> Optional[Dict[str, int]]:
         """Hit/miss/rebuild counters of the query cache (``None`` when

@@ -45,8 +45,8 @@ class TimeWindowSkyline(NofNSkyline):
     sanitize:
         Runtime invariant checking, forwarded verbatim (see
         :mod:`repro.sanitize`).
-    query_cache / kernels / rtree_layout:
-        Query fast-path knobs, forwarded verbatim (see
+    query_cache / kernels / rtree_layout / batch_chunk:
+        Query and batched-ingest knobs, forwarded verbatim (see
         :class:`~repro.core.nofn.NofNSkyline`); :meth:`query_last`
         answers through the versioned stab cache when enabled.
     """
@@ -62,6 +62,7 @@ class TimeWindowSkyline(NofNSkyline):
         query_cache: bool = True,
         kernels: str = "auto",
         rtree_layout: str = "auto",
+        batch_chunk: Optional[int] = None,
     ) -> None:
         if horizon <= 0:
             raise InvalidWindowError(f"horizon must be positive, got {horizon}")
@@ -76,6 +77,7 @@ class TimeWindowSkyline(NofNSkyline):
             query_cache=query_cache,
             kernels=kernels,
             rtree_layout=rtree_layout,
+            batch_chunk=batch_chunk,
         )
         self.horizon = float(horizon)
         self._now = 0.0

@@ -31,7 +31,6 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.accel.batch_prefilter import CHUNK
 from repro.core.element import StreamElement
 from repro.core.events import ArrivalOutcome, BatchOutcome
 from repro.core.nofn import NofNSkyline, _record_kappa
@@ -66,6 +65,7 @@ class ShardNofNEngine(NofNSkyline):
         query_cache: bool = True,
         kernels: str = "auto",
         rtree_layout: str = "auto",
+        batch_chunk: Optional[int] = None,
     ) -> None:
         if stride < 1:
             raise ValueError(f"stride must be >= 1, got {stride}")
@@ -79,6 +79,7 @@ class ShardNofNEngine(NofNSkyline):
             query_cache=query_cache,
             kernels=kernels,
             rtree_layout=rtree_layout,
+            batch_chunk=batch_chunk,
         )
         self._stride = stride
 
@@ -191,6 +192,7 @@ class ShardKSkybandEngine(KSkybandEngine):
         query_cache: bool = True,
         kernels: str = "auto",
         rtree_layout: str = "auto",
+        batch_chunk: Optional[int] = None,
     ) -> None:
         if stride < 1:
             raise ValueError(f"stride must be >= 1, got {stride}")
@@ -205,6 +207,7 @@ class ShardKSkybandEngine(KSkybandEngine):
             query_cache=query_cache,
             kernels=kernels,
             rtree_layout=rtree_layout,
+            batch_chunk=batch_chunk,
         )
         self._stride = stride
 
@@ -250,7 +253,9 @@ class ShardKSkybandEngine(KSkybandEngine):
     def _batch_chunk_size(self) -> int:
         """Largest chunk spanning at most ``capacity - 1`` kappas under
         stride-``S`` labels: ``(c - 1) * S <= capacity - 1``."""
-        return max(1, min(CHUNK, (self.capacity - 1) // self._stride + 1))
+        return max(
+            1, min(self._batch_chunk, (self.capacity - 1) // self._stride + 1)
+        )
 
     # -- misuse guards --------------------------------------------------
 
@@ -320,6 +325,8 @@ def build_shard_engine(spec: Mapping[str, Any]) -> ShardEngine:
         "sanitize": spec["sanitize"],
         "query_cache": spec["query_cache"],
         "kernels": spec["kernels"],
+        # Older specs lack the key; ``None`` resolves to the default.
+        "batch_chunk": spec.get("batch_chunk"),
     }
     if kind == "skyband":
         return ShardKSkybandEngine(

@@ -33,6 +33,7 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro.accel.batch_prefilter import resolve_batch_chunk
 from repro.core.element import StreamElement
 from repro.core.stats import EngineStats
 from repro.exceptions import DimensionMismatchError, InvalidWindowError
@@ -72,6 +73,7 @@ class _ShardedRouter:
         replicas: str = "auto",
         replica_lag: Optional[int] = 0,
         rtree_layout: str = "auto",
+        batch_chunk: Optional[int] = None,
     ) -> None:
         if capacity < 1:
             raise InvalidWindowError(f"capacity must be >= 1, got {capacity}")
@@ -110,6 +112,7 @@ class _ShardedRouter:
         }
         self._query_cache = query_cache
         self._kernel_policy = kernels
+        self._batch_chunk = resolve_batch_chunk(batch_chunk)
         self.replica_mode = replicas
         self.replica_lag = replica_lag
         self._replicas_enabled = (
@@ -146,6 +149,7 @@ class _ShardedRouter:
             "sanitize": self.sanitize_mode,
             "query_cache": self._query_cache,
             "kernels": self._kernel_policy,
+            "batch_chunk": self._batch_chunk,
         }
 
     # -- ingestion ------------------------------------------------------
@@ -324,6 +328,13 @@ class _ShardedRouter:
         """The ``rtree_layout`` knob the shard engines were built with
         (the requested policy; each shard resolves ``"auto"`` itself)."""
         return str(self._rtree_config["rtree_layout"])
+
+    @property
+    def batch_chunk(self) -> int:
+        """The effective batched-ingest chunk size forwarded to every
+        shard engine (the ``batch_chunk`` knob, or the library default
+        when unset)."""
+        return self._batch_chunk
 
     @property
     def structure_version(self) -> int:
@@ -521,6 +532,7 @@ class ShardedKSkyband(_ShardedRouter):
         replicas: str = "auto",
         replica_lag: Optional[int] = 0,
         rtree_layout: str = "auto",
+        batch_chunk: Optional[int] = None,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -540,6 +552,7 @@ class ShardedKSkyband(_ShardedRouter):
             replicas=replicas,
             replica_lag=replica_lag,
             rtree_layout=rtree_layout,
+            batch_chunk=batch_chunk,
         )
 
     def _shard_spec(self, index: int) -> Dict[str, Any]:

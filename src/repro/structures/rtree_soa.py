@@ -386,8 +386,19 @@ class SoARTree:
             _np.maximum(upper, probe) - _np.minimum(lower, probe), axis=1
         )
         enlargement = grown - area
-        order = _np.lexsort((self._blk_len[active], area, enlargement))
-        return int(active[order[0]])
+        # Argmin cascade instead of a three-key lexsort: each tie-break
+        # only materialises when the previous key actually ties, which
+        # is the common case for key one (zero enlargement) but rare
+        # after that.  Picks the identical block to the stable lexsort
+        # (first index among the minimal triples).
+        cand = _np.flatnonzero(enlargement == enlargement.min())
+        if cand.size > 1:
+            sub_area = area[cand]
+            cand = cand[sub_area == sub_area.min()]
+            if cand.size > 1:
+                sub_len = self._blk_len[active[cand]]
+                cand = cand[sub_len == sub_len.min()]
+        return int(active[cand[0]])
 
     def _split_block(self, b: int, probe: Any) -> int:
         """Split a full block by median along its widest axis; return
@@ -706,6 +717,377 @@ class SoARTree:
             if owner is not None:
                 found.append(owner)
         return found
+
+    # ------------------------------------------------------------------
+    # Bulk maintenance (batched-ingest pipeline)
+    # ------------------------------------------------------------------
+
+    def report_dominated_batch(
+        self,
+        points: Sequence[Sequence[float]],
+        first_only: bool = True,
+    ) -> List[List[SoAEntry]]:
+        """Dominated entries for a whole chunk of probes in one pass.
+
+        Returns one bucket per probe.  With ``first_only=True`` (the
+        skyline engines) each dominated entry is attributed to the
+        *earliest* probe that dominates it — exactly the arrival whose
+        per-element ``remove_dominated`` call would have claimed it.
+        With ``first_only=False`` (the k-skyband engine) an entry
+        appears in the bucket of *every* probe dominating it, so each
+        arrival can count its own younger-dominance hits.
+
+        Candidacy is resolved *per probe* (probe against block upper
+        corner, one ``m x B`` compare per dimension); the live rows of
+        every reachable block are then harvested with one vectorised
+        multi-arange and answered by a single dense ``m x rows``
+        dominance mask, built one dimension at a time with in-place
+        ``&=``.  (A per-block loop answers the same query with ~8 small
+        ``numpy`` calls per visited block — overhead-dominated; and a
+        joint chunk-envelope candidacy makes nearly every block a
+        candidate once the chunk is spread — measured ~2x slower at
+        d=5.)  Buckets are kappa-sorted, matching
+        :meth:`report_dominated`.  Non-destructive: callers running the
+        deferred-mutation ingest pipeline apply the removals later via
+        :meth:`delete_many`.
+        """
+        buckets: List[List[SoAEntry]] = [[] for _ in range(len(points))]
+        if not points:
+            return buckets
+        for p in points:
+            if len(p) != self.dim:
+                raise DimensionMismatchError(self.dim, len(p))
+        self._refresh()
+        probes = _np.asarray(
+            [tuple(float(v) for v in p) for p in points], dtype=_np.float64
+        )
+        active = _np.flatnonzero(self._blk_len > 0)
+        if active.size == 0:
+            self.last_report_visits = 0
+            return buckets
+        # A probe can only dominate rows of blocks whose upper corner
+        # it is below: per-probe candidacy, not the chunk's joint box.
+        upper = self._blk_upper[active]
+        cand_mat = probes[:, 0][:, None] <= upper[None, :, 0]
+        for k in range(1, self.dim):
+            cand_mat &= probes[:, k][:, None] <= upper[None, :, k]
+        hit = cand_mat.any(axis=0)
+        self.last_report_visits = int(hit.sum())
+        bs = active[hit]
+        if bs.size == 0:
+            return buckets
+        cap = self.block_capacity
+        starts = (bs * cap).astype(_np.int64)
+        lens = self._blk_len[bs].astype(_np.int64)
+        total = int(lens.sum())
+        rows = _np.repeat(starts, lens) + (
+            _np.arange(total, dtype=_np.int64)
+            - _np.repeat(_np.cumsum(lens) - lens, lens)
+        )
+        pts_t = _np.ascontiguousarray(self._points[rows].T)
+        dom = probes[:, 0][:, None] <= pts_t[0][None, :]
+        for k in range(1, self.dim):
+            dom &= probes[:, k][:, None] <= pts_t[k][None, :]
+        if first_only:
+            cols = _np.flatnonzero(dom.any(axis=0))
+            if cols.size:
+                # Probes ascend in arrival order, so the axis-0 argmax
+                # is the earliest probe dominating that row.
+                first = dom[:, cols].argmax(axis=0)
+                for col, pos in zip(cols.tolist(), first.tolist()):
+                    owner = self._rows[int(rows[col])]
+                    if owner is not None:
+                        buckets[pos].append(owner)
+        else:
+            for pos, col in _np.argwhere(dom).tolist():
+                owner = self._rows[int(rows[col])]
+                if owner is not None:
+                    buckets[pos].append(owner)
+        for bucket in buckets:
+            bucket.sort(key=lambda e: e.kappa)
+        return buckets
+
+    def max_kappa_dominator_batch(
+        self, points: Sequence[Sequence[float]]
+    ) -> List[Optional[SoAEntry]]:
+        """The critical-dominator answer for a whole chunk at once.
+
+        Equivalent to ``[max_kappa_dominator(p) for p in points]``:
+        the live rows of every block some probe can reach (block lower
+        corner below the probe) are harvested with one vectorised
+        multi-arange, sorted once by descending ``kappa``, and swept in
+        doubling segments — a probe drops out of the sweep at its first
+        hit, which in descending-``kappa`` order *is* its critical
+        dominator.  The doubling schedule is the chunk-wide analogue of
+        the paper's best-first stop: most probes resolve inside the
+        first segment (recent arrivals dominate most of the window), so
+        the expensive full-depth scan is paid only by the few probes
+        with no dominator at all.  (A per-block scan in descending
+        ``max_kappa`` order answers the same query but spends ~10 small
+        ``numpy`` calls per visited block; on a couple hundred blocks
+        that overhead dwarfs the actual comparison work — measured ~5x
+        slower at d=5.)
+        """
+        if not points:
+            return []
+        for p in points:
+            if len(p) != self.dim:
+                raise DimensionMismatchError(self.dim, len(p))
+        self._refresh()
+        m = len(points)
+        probes = _np.asarray(
+            [tuple(float(v) for v in p) for p in points], dtype=_np.float64
+        )
+        active = _np.flatnonzero(self._blk_len > 0)
+        if active.size == 0:
+            return [None] * m
+        # A block can hold a dominator of some probe only if its lower
+        # corner sits below the chunk's per-dimension upper envelope —
+        # conservative (a superset of the exact per-probe union) but a
+        # B x d test instead of a B x m x d broadcast, and the exact
+        # dominance sweep below makes over-harvesting harmless.
+        cand = (self._blk_lower[active] <= probes.max(axis=0)).all(axis=1)
+        bs = active[cand]
+        if bs.size == 0:
+            return [None] * m
+        cap = self.block_capacity
+        starts = (bs * cap).astype(_np.int64)
+        lens = self._blk_len[bs].astype(_np.int64)
+        total = int(lens.sum())
+        # Multi-arange: live row indices of all candidate blocks at once.
+        rows = _np.repeat(starts, lens) + (
+            _np.arange(total, dtype=_np.int64)
+            - _np.repeat(_np.cumsum(lens) - lens, lens)
+        )
+        # Kappas are unique, so a plain ascending argsort reversed is
+        # the descending order (no stability needed).
+        rows = rows[_np.argsort(self._kappas[rows])[::-1]]
+        # One transposed contiguous copy: the sweep then runs d small
+        # 2D compares per segment instead of one strided 3D broadcast
+        # plus an all-reduction (measured ~3x faster at d=5).
+        pts_t = _np.ascontiguousarray(self._points[rows].T)
+        best_row = _np.full(m, -1, dtype=_np.int64)
+        alive = _np.arange(m, dtype=_np.int64)
+        lo = 0
+        seg = 1024
+        while lo < total and alive.size:
+            hi = min(total, lo + seg)
+            pa = probes[alive]
+            dom = pts_t[0, lo:hi][None, :] <= pa[:, 0][:, None]
+            for k in range(1, self.dim):
+                dom &= pts_t[k, lo:hi][None, :] <= pa[:, k][:, None]
+            hit = dom.any(axis=1)
+            if hit.any():
+                # First hit in the segment = highest kappa (rows are
+                # globally kappa-sorted and kappas are unique).
+                first = dom[hit].argmax(axis=1)
+                best_row[alive[hit]] = rows[lo + first]
+                alive = alive[~hit]
+            lo = hi
+            seg *= 2
+        return [
+            self._rows[row] if row >= 0 else None
+            for row in best_row.tolist()
+        ]
+
+    def delete_many(self, kappas: Sequence[int]) -> List[SoAEntry]:
+        """Remove a whole chunk's victims in one pass per touched block.
+
+        The batched-ingest analogue of per-victim :meth:`delete`:
+        victims are grouped by block, each touched block's survivors
+        are compacted with one gather, and the block is dirty-marked
+        once — the single deferred re-summarise happens at the next
+        search or :meth:`insert_many`.  At most one repack at the end.
+        All-or-nothing: unknown or duplicated kappas raise before any
+        mutation.  Returns the removed entries in argument order.
+        """
+        if not kappas:
+            return []
+        seen: Set[int] = set()
+        for kappa in kappas:
+            if kappa in seen:
+                raise KeyNotFoundError(
+                    f"kappa={kappa} repeated in delete_many"
+                )
+            seen.add(kappa)
+            if kappa not in self._entries:
+                raise KeyNotFoundError(f"no entry with kappa={kappa}")
+        removed = [self._entries.pop(kappa) for kappa in kappas]
+        cap = self.block_capacity
+        by_block: Dict[int, List[SoAEntry]] = {}
+        for entry in removed:
+            by_block.setdefault(entry.row // cap, []).append(entry)
+        for b, victims in by_block.items():
+            start = b * cap
+            length = int(self._blk_len[b])
+            gone = {entry.row for entry in victims}
+            keep = [
+                row for row in range(start, start + length)
+                if row not in gone
+            ]
+            if not keep:
+                for row in range(start, start + length):
+                    self._rows[row] = None
+                self._blk_len[b] = 0
+                self._release_block(b)
+            else:
+                keep_idx = _np.asarray(keep, dtype=_np.int64)
+                self._points[start:start + len(keep)] = (
+                    self._points[keep_idx]
+                )
+                self._kappas[start:start + len(keep)] = (
+                    self._kappas[keep_idx]
+                )
+                kept_owners = [self._rows[row] for row in keep]
+                for offset, owner in enumerate(kept_owners):
+                    self._rows[start + offset] = owner
+                    if owner is not None:
+                        owner.row = start + offset
+                for row in range(start + len(keep), start + length):
+                    self._rows[row] = None
+                self._blk_len[b] = len(keep)
+                self._dirty.add(b)
+            for entry in victims:
+                entry.row = -1
+        self._maybe_repack()
+        return removed
+
+    def insert_many(
+        self,
+        points: Sequence[Sequence[float]],
+        kappas: Sequence[int],
+        datas: Optional[Sequence[Any]] = None,
+    ) -> List[SoAEntry]:
+        """Insert a whole chunk's survivors in one validated pass.
+
+        Placement is per-point adaptive Guttman — the same choose /
+        split / in-place-extend routine as :meth:`insert`, so a
+        bulk-built index is block-for-block as tight as a per-element
+        one.  (A frozen mass placement — every point choosing against
+        the chunk-start summaries at once — measured 3.5x looser block
+        boxes and ~3.7x more block opens per subsequent probe: chunk
+        survivors are frontier points, and assigning them by stale
+        least-enlargement stretches interior blocks across the
+        frontier.)  The batching win lives in the bulk searches and
+        :meth:`delete_many`, not here; the single ``_refresh()`` up
+        front tightens every block a preceding :meth:`delete_many`
+        left dirty, which keeps the in-place summary extension exact.
+        All-or-nothing on validation errors.
+        """
+        if len(points) != len(kappas):
+            raise ValueError(
+                f"insert_many got {len(points)} points but "
+                f"{len(kappas)} kappas"
+            )
+        if datas is not None and len(datas) != len(points):
+            raise ValueError(
+                f"insert_many got {len(points)} points but "
+                f"{len(datas)} payloads"
+            )
+        for p in points:
+            if len(p) != self.dim:
+                raise DimensionMismatchError(self.dim, len(p))
+        fresh: Set[int] = set()
+        for kappa in kappas:
+            if kappa in self._entries or kappa in fresh:
+                raise DuplicateKeyError(
+                    f"entry with kappa={kappa} already present"
+                )
+            fresh.add(int(kappa))
+        if not points:
+            return []
+        self._refresh()
+        coords = [tuple(float(v) for v in p) for p in points]
+        probes = _np.asarray(coords, dtype=_np.float64)
+        cap = self.block_capacity
+        entries: List[SoAEntry] = []
+        # Chunk-local placement cache.  ``_choose_block`` re-derives
+        # the active-block list and every block's area on each call;
+        # across a chunk those change only at the block just extended
+        # (or the rare split), so mirror them once and update the
+        # touched row in place.  Choices are identical to per-element
+        # ``insert``: same keys, same ascending block order.
+        act = _np.flatnonzero(self._blk_len > 0).astype(_np.int64)
+        low = self._blk_lower[act].copy()
+        upp = self._blk_upper[act].copy()
+        area = _np.prod(upp - low, axis=1)
+        lens = self._blk_len[act].astype(_np.int64)
+
+        def _rebuild() -> None:
+            nonlocal act, low, upp, area, lens
+            act = _np.flatnonzero(self._blk_len > 0).astype(_np.int64)
+            low = self._blk_lower[act].copy()
+            upp = self._blk_upper[act].copy()
+            area = _np.prod(upp - low, axis=1)
+            lens = self._blk_len[act].astype(_np.int64)
+
+        for i, c in enumerate(coords):
+            probe = probes[i]
+            entry = SoAEntry(
+                c, int(kappas[i]), None if datas is None else datas[i]
+            )
+            fast = False
+            new_area = 0.0
+            pos = -1
+            if act.size:
+                grown = _np.prod(
+                    _np.maximum(upp, probe) - _np.minimum(low, probe),
+                    axis=1,
+                )
+                enl = grown - area
+                cand = _np.flatnonzero(enl == enl.min())
+                if cand.size > 1:
+                    sub_area = area[cand]
+                    cand = cand[sub_area == sub_area.min()]
+                    if cand.size > 1:
+                        sub_len = lens[cand]
+                        cand = cand[sub_len == sub_len.min()]
+                pos = int(cand[0])
+                if int(lens[pos]) < cap:
+                    fast = True
+                    new_area = float(grown[pos])
+                    b = int(act[pos])
+                else:
+                    b = self._split_block(int(act[pos]), probe)
+            else:
+                b = self._alloc_block()
+            if fast:
+                row = b * cap + int(lens[pos])
+                self._points[row] = probe
+                self._kappas[row] = entry.kappa
+                self._rows[row] = entry
+                entry.row = row
+                self._blk_len[b] += 1
+                lens[pos] += 1
+                lo_r = _np.minimum(low[pos], probe)
+                up_r = _np.maximum(upp[pos], probe)
+                low[pos] = lo_r
+                upp[pos] = up_r
+                self._blk_lower[b] = lo_r
+                self._blk_upper[b] = up_r
+                # ``grown[pos]`` *is* the block's area once extended.
+                area[pos] = new_area
+            else:
+                # Fresh or just-split block: write through the global
+                # arrays, then re-mirror the cache (rare).
+                row = b * cap + int(self._blk_len[b])
+                self._points[row] = probe
+                self._kappas[row] = entry.kappa
+                self._rows[row] = entry
+                entry.row = row
+                self._blk_len[b] += 1
+                _np.minimum(
+                    self._blk_lower[b], probe, out=self._blk_lower[b]
+                )
+                _np.maximum(
+                    self._blk_upper[b], probe, out=self._blk_upper[b]
+                )
+                _rebuild()
+            if entry.kappa > int(self._blk_maxk[b]):
+                self._blk_maxk[b] = entry.kappa
+            self._entries[entry.kappa] = entry
+            entries.append(entry)
+        return entries
 
     # ------------------------------------------------------------------
     # Validation (used by the sanitizer and the test suite)

@@ -102,6 +102,59 @@ class TestRepro104KernelInvalidation:
         assert result.findings == []
         assert result.unused_waivers == []
 
+    # A pooled class's bulk maintenance methods satisfy the rule by
+    # *name* (POOLED_MAINTENANCE_METHODS): calling them after a raw
+    # pooled write is maintenance even when their own bodies delegate
+    # and never touch a summary attribute directly.
+    POOLED_BULK_SRC = (
+        "class Pool:\n"
+        "    def __init__(self):\n"
+        "        self._points = _np.zeros((8, 2))\n"
+        "        self._kappas = _np.zeros(8)\n"
+        "        self._dirty = set()\n"
+        "\n"
+        "    def insert_many(self, points, kappas):\n"
+        "        self._bulk_place(points, kappas)\n"
+        "\n"
+        "    def delete_many(self, kappas):\n"
+        "        self._bulk_drop(kappas)\n"
+        "\n"
+        "    def rewrite(self, rows, pts):\n"
+        "        self._points[rows] = pts\n"
+        "        self.insert_many(pts, rows)\n"
+        "\n"
+        "    def erase(self, rows):\n"
+        "        self._kappas[rows] = -1\n"
+        "        self.delete_many(rows)\n"
+    )
+
+    def test_bulk_methods_count_as_maintenance_by_name(self):
+        result = analyze_sources({"src/repro/pool.py": self.POOLED_BULK_SRC})
+        assert [f.code for f in result.findings] == []
+
+    def test_model_folds_contract_methods_into_pooled_classes(self):
+        import ast
+
+        from tools.lint.model import POOLED_MAINTENANCE_METHODS, build_model
+
+        model = build_model(
+            {"src/repro/pool.py": ast.parse(self.POOLED_BULK_SRC)}
+        )
+        cls = model.modules["src/repro/pool.py"].classes["Pool"]
+        assert cls.is_pooled
+        assert POOLED_MAINTENANCE_METHODS <= cls.maintenance_methods
+        # A non-pooled class gets no contract fold: the names only mean
+        # "re-summarise" on an SoA pool.
+        plain = build_model({
+            "src/repro/other.py": ast.parse(
+                "class Router:\n"
+                "    def insert_many(self, xs):\n"
+                "        self.xs = xs\n"
+            )
+        })
+        router = plain.modules["src/repro/other.py"].classes["Router"]
+        assert not router.maintenance_methods
+
 
 class TestRepro105SnapshotParity:
     def test_violation(self):

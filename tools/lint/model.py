@@ -29,7 +29,8 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Union
 
 __all__ = [
     "ClassModel", "FunctionInfo", "Model", "ModuleModel", "ProducerInfo",
-    "ConsumerInfo", "MUTATOR_NAMES", "POOLED_SUMMARY_ATTRS", "build_model",
+    "ConsumerInfo", "MUTATOR_NAMES", "POOLED_MAINTENANCE_METHODS",
+    "POOLED_SUMMARY_ATTRS", "build_model",
     "expr_path", "local_aliases", "iter_functions",
 ]
 
@@ -57,6 +58,15 @@ POOLED_SUMMARY_ATTRS: FrozenSet[str] = frozenset({
 
 #: Pooled arrays whose raw writes trigger the SoA side of REPRO104.
 _POOLED_TRIGGER_ATTRS: FrozenSet[str] = frozenset({"_points", "_kappas"})
+
+#: Bulk-maintenance methods of an SoA pool (REPRO104).  These are part
+#: of the pooled-class *contract* — each call re-summarises every block
+#: it touches — so they count as maintenance by name, independently of
+#: the attribute-reference heuristic below (no blanket waivers needed
+#: in the batched-ingest call sites).
+POOLED_MAINTENANCE_METHODS: FrozenSet[str] = frozenset({
+    "insert_many", "delete_many",
+})
 
 #: Function-name pattern marking snapshot/spec *producers* (REPRO105).
 _PRODUCER_NAME = re.compile(r"snapshot|spec|dump|config", re.IGNORECASE)
@@ -352,6 +362,8 @@ _CACHE_ATTR_NAMES: FrozenSet[str] = frozenset({"kernel"})
 
 
 def _finish_class(model: ClassModel) -> None:
+    if model.is_pooled:
+        model.maintenance_methods |= POOLED_MAINTENANCE_METHODS
     for name, fn in model.methods.items():
         if name == "close":
             model.has_close = True
