@@ -149,6 +149,91 @@ def test_fig16_continuous_queries(report, benchmark):
             )
 
 
+QUERY_SWEEP = (4, 16, 64, 256)
+
+
+def test_fig16_query_count_sweep(report, benchmark):
+    """Per-arrival dispatch cost versus registered-query count Q.
+
+    Runs the same arrivals through an indexed manager
+    (``query_index="on"``) and the seed per-handle loop
+    (``query_index="off"``) at each Q in the sweep, both consuming
+    identical engine outcomes.  The indexed cost must grow sublinearly:
+    its dispatch is ``O(log Q + affected)``, so the top-of-sweep ratio
+    indexed(Qmax)/indexed(Qmin) has to stay well under the query-count
+    ratio (64x here).  The legacy/indexed comparison at the top of the
+    sweep is reported but not asserted — absolute speedups live in
+    ``scripts/bench_snapshot.py`` where they are floor-checked against
+    a committed snapshot.
+    """
+    from repro.core.query_index import mixed_query_plan
+
+    dim = 2
+    capacity = scaled(1000)
+    arrivals = scaled(150, minimum=60)
+    prefill = stream_points("independent", dim, capacity, seed=41)
+    points = stream_points("independent", dim, arrivals, seed=43)
+    per_arrival = {}
+
+    def run_sweep():
+        for count in QUERY_SWEEP:
+            engine = NofNSkyline(dim, capacity)
+            for point in prefill:
+                engine.append(point)
+            indexed = ContinuousQueryManager(engine, query_index="on")
+            legacy = ContinuousQueryManager(engine, query_index="off")
+            for n in mixed_query_plan(count, capacity):
+                indexed.register(n)
+                legacy.register(n)
+            timings = {"indexed": 0.0, "legacy": 0.0}
+            for i, point in enumerate(points):
+                outcome = engine.append(point)
+                order = (
+                    ("indexed", indexed), ("legacy", legacy)
+                ) if i % 2 else (("legacy", legacy), ("indexed", indexed))
+                for label, manager in order:
+                    start = time.perf_counter()
+                    manager.process(outcome)
+                    timings[label] += time.perf_counter() - start
+            per_arrival[count] = {
+                label: total / arrivals for label, total in timings.items()
+            }
+
+    benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    headers = ["Q", "indexed avg", "legacy avg", "legacy/indexed"]
+    rows = []
+    for count in QUERY_SWEEP:
+        entry = per_arrival[count]
+        ratio = entry["legacy"] / max(entry["indexed"], 1e-12)
+        rows.append(
+            [
+                str(count),
+                format_seconds(entry["indexed"]),
+                format_seconds(entry["legacy"]),
+                f"x{ratio:.2f}",
+            ]
+        )
+    report(
+        "fig16_query_count_sweep",
+        render_table(
+            f"Figure 16 extension — per-arrival cost vs Q "
+            f"(d{dim}, N={capacity}, mixed distinct/duplicate windows)",
+            headers,
+            rows,
+        ),
+    )
+
+    lo, hi = QUERY_SWEEP[0], QUERY_SWEEP[-1]
+    growth = per_arrival[hi]["indexed"] / max(per_arrival[lo]["indexed"], 1e-12)
+    if growth > (hi / lo) / 2.0:
+        raise AssertionError(
+            f"indexed per-arrival cost grew x{growth:.1f} from Q={lo} to "
+            f"Q={hi} — dispatch should be sublinear in Q "
+            f"(query-count ratio is x{hi // lo})"
+        )
+
+
 @pytest.mark.parametrize("dim", DIMS)
 def test_cnn_step_benchmark(benchmark, dim):
     """Micro-benchmark: one arrival through a loaded continuous manager."""

@@ -44,10 +44,11 @@ def _config():
     capacity = scaled(2000)
     return {
         "capacity": capacity,
-        "prefill": 2 * capacity,
+        # Run metadata, not snapshot keys: nothing restores these.
+        "prefill": 2 * capacity,  # lint: skip=REPRO105
         "queries": scaled(200, minimum=20),
         # The paper's gap is 500 of N=10^6; keep the same fraction.
-        "gap": max(1, capacity // 2000),
+        "gap": max(1, capacity // 2000),  # lint: skip=REPRO105
     }
 
 

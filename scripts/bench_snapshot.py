@@ -31,6 +31,20 @@ Produces two JSON files (default: the repository root):
     the swept shard counts, backends and replica modes: speedup numbers
     are meaningless without knowing how many cores produced them.
 
+``BENCH_continuous.json``
+    Per-arrival continuous-query maintenance cost versus registered
+    query count Q in {10, 100, 1000, 10000} (a deterministic mixed
+    distinct/duplicate window plan), comparing the seed per-handle
+    O(Q) dispatch loop (``legacy``), the sorted query-index routing
+    path (``indexed``) and the vectorised batch routing path
+    (``indexed_batch``) — same engine outcomes drive every variant, so
+    the speedups are machine-portable.  ``indexed_growth_q100_to_q10000``
+    is the measured indexed-cost growth across a 100x query-count
+    growth; sublinear dispatch keeps it far below 100.  This kind uses
+    the ``independent`` distribution: the routing *dispatch* is what is
+    measured, and the anticorrelated skylines' huge per-arrival change
+    sets are shared work that would only mask the dispatch term.
+
 Each file holds up to two profiles: ``full`` (the committed reference,
 N = 100k) and ``quick`` (small, seconds-scale; what CI runs).  A run
 only replaces the profile it executed, so ``--quick`` refreshes the
@@ -64,7 +78,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.bench.reporting import machine_fingerprint  # noqa: E402
+from repro.core.continuous import ContinuousQueryManager  # noqa: E402
 from repro.core.nofn import NofNSkyline  # noqa: E402
+from repro.core.query_index import mixed_query_plan  # noqa: E402
 from repro.parallel import ShardedNofNSkyline  # noqa: E402
 from repro.streams import make_stream  # noqa: E402
 
@@ -153,6 +169,45 @@ SHARD_VARIANTS: Dict[str, Dict[str, Any]] = {
 SHARD_PROFILES = {
     "full": {"window": 100_000, "batch": 1000, "query_every": 10_000},
     "quick": {"window": 5_000, "batch": 500, "query_every": 1_000},
+}
+
+#: Registered-query counts swept by the ``continuous`` kind (mixed
+#: distinct/duplicate windows via ``mixed_query_plan``).
+CONTINUOUS_QUERY_COUNTS = (10, 100, 1000, 10000)
+#: The continuous kind measures *dispatch*: how fast one arrival's
+#: change records reach Q registered queries.  Anticorrelated streams
+#: bury that term under enormous shared result churn, so this kind
+#: feeds independent points instead.
+CONTINUOUS_DISTRIBUTION = "independent"
+#: Dim sweep for the continuous kind, again narrower than ``DIMS`` for
+#: the same reason as the distribution: at d>=3 an independent-stream
+#: skyline holds hundreds of members, so nearly every group's oldest
+#: member sits at its window edge and fires a *genuine* trigger on
+#: nearly every arrival.  That cascade work is identical on both sides
+#: of the ratio, capping it near the dedupe factor regardless of how
+#: fast dispatch is.  d=2 keeps result churn small (tens of members),
+#: so the sweep isolates the O(Q) -> O(log Q + affected) term.
+CONTINUOUS_DIMS = (2,)
+#: At Q=1000 the indexed path must beat the seed per-handle loop by at
+#: least this factor (both sides process identical outcomes in the same
+#: run, so the ratio is machine-portable).  The measured quick ratio is
+#: far higher; 5x is the committed acceptance floor.
+CONTINUOUS_SPEEDUP_FLOOR = 5.0
+#: Indexed per-arrival cost growth over the Q=100 -> Q=10000 sweep
+#: (a 100x query-count growth).  Routing is O(log Q + affected), so the
+#: measured growth must stay well below linear; 50 = half of linear is
+#: a generous ceiling that still catches an accidental O(Q) path.
+CONTINUOUS_GROWTH_MAX = 50.0
+#: The window must be large relative to the distinct-group pool
+#: (``CONTINUOUS_QUERY_COUNTS[-1] / 2`` groups at the top sweep point):
+#: a group with window ``n`` fires its expiry trigger at a rate that
+#: shrinks with ``n``, so packing thousands of groups into a few
+#: hundred positions makes every arrival churn nearly every group —
+#: shared work both sides pay equally that buries the dispatch term
+#: this kind exists to measure.
+CONTINUOUS_PROFILES = {
+    "full": {"window": 20000, "arrivals": 400},
+    "quick": {"window": 5000, "arrivals": 120},
 }
 
 
@@ -342,6 +397,89 @@ def bench_shard_dim(dim: int, profile: Dict[str, int]) -> Dict[str, Any]:
     return results
 
 
+def _prefilled_engine(dim: int, window: int, points: List[Any]) -> NofNSkyline:
+    engine = NofNSkyline(dim=dim, capacity=window)
+    for start in range(0, window, 1000):
+        engine.append_many(points[start:start + 1000])
+    return engine
+
+
+def bench_continuous_dim(dim: int, profile: Dict[str, int]) -> Dict[str, Any]:
+    window = profile["window"]
+    prefill = list(
+        make_stream(CONTINUOUS_DISTRIBUTION, dim, window, SEED)
+    )
+    arrivals = list(
+        make_stream(CONTINUOUS_DISTRIBUTION, dim, profile["arrivals"], SEED + 3)
+    )
+    results: Dict[str, Any] = {}
+    for count in CONTINUOUS_QUERY_COUNTS:
+        plan = mixed_query_plan(count, window)
+        # One engine drives both managers with identical outcomes:
+        # every timed sample pair saw exactly the same change records.
+        engine = _prefilled_engine(dim, window, prefill)
+        indexed = ContinuousQueryManager(engine, query_index="on")
+        legacy = ContinuousQueryManager(engine, query_index="off")
+        for n in plan:
+            indexed.register(n)
+            legacy.register(n)
+        indexed_ns: List[int] = []
+        legacy_ns: List[int] = []
+        for i, point in enumerate(arrivals):
+            outcome = engine.append(point)
+            # Alternate which manager processes first so cache-cold
+            # penalties land on both sides equally.
+            pair = [(indexed, indexed_ns), (legacy, legacy_ns)]
+            if i % 2:
+                pair.reverse()
+            for manager, sink in pair:
+                tick = time.perf_counter_ns()
+                manager.process(outcome)
+                sink.append(time.perf_counter_ns() - tick)
+        # The batched routing path replays the same arrivals through
+        # append_many chunks on its own engine (outcomes must reach the
+        # manager exactly once, in order).
+        batch_engine = _prefilled_engine(dim, window, prefill)
+        batched = ContinuousQueryManager(batch_engine, query_index="on")
+        for n in plan:
+            batched.register(n)
+        batch_ns: List[int] = []
+        chunk = 50
+        for lower in range(0, len(arrivals), chunk):
+            piece = arrivals[lower:lower + chunk]
+            outcome_batch = batch_engine.append_many(piece)
+            tick = time.perf_counter_ns()
+            batched.process_batch(outcome_batch)
+            per_arrival = (time.perf_counter_ns() - tick) // len(piece)
+            batch_ns += [per_arrival] * len(piece)
+        stats = indexed.query_index_stats() or {}
+        entry: Dict[str, Any] = {
+            "groups": stats.get("groups", 0),
+            "legacy": summarize(legacy_ns),
+            "indexed": summarize(indexed_ns),
+            "indexed_batch": summarize(batch_ns),
+        }
+        entry["speedup"] = round(
+            entry["legacy"]["median_us"]
+            / max(entry["indexed"]["median_us"], 1e-9),
+            2,
+        )
+        entry["batch_speedup"] = round(
+            entry["legacy"]["median_us"]
+            / max(entry["indexed_batch"]["median_us"], 1e-9),
+            2,
+        )
+        results[f"q{count}"] = entry
+    top = CONTINUOUS_QUERY_COUNTS[-1]
+    results["indexed_growth_q100_to_q10000"] = round(
+        results[f"q{top}"]["indexed"]["median_us"]
+        / max(results["q100"]["indexed"]["median_us"], 1e-9),
+        2,
+    )
+    results["query_count_growth"] = round(top / 100, 1)
+    return results
+
+
 def run_profile(name: str, kind: str) -> Dict[str, Any]:
     if kind == "shard":
         profile = SHARD_PROFILES[name]
@@ -354,17 +492,27 @@ def run_profile(name: str, kind: str) -> Dict[str, Any]:
                 for kwargs in SHARD_VARIANTS.values()
             ),
         )
+    elif kind == "continuous":
+        profile = CONTINUOUS_PROFILES[name]
+        bench = bench_continuous_dim
+        machine = machine_fingerprint(
+            queries=",".join(str(q) for q in CONTINUOUS_QUERY_COUNTS),
+        )
     else:
         profile = PROFILES[name]
         bench = bench_query_dim if kind == "query" else bench_ingest_dim
         machine = machine_fingerprint()
+    distribution = (
+        CONTINUOUS_DISTRIBUTION if kind == "continuous" else DISTRIBUTION
+    )
+    dims = CONTINUOUS_DIMS if kind == "continuous" else DIMS
     results = {}
-    for dim in DIMS:
+    for dim in dims:
         print(f"[{kind}/{name}] d={dim} N={profile['window']} ...",
               file=sys.stderr)
         results[f"d{dim}"] = bench(dim, profile)
     return {
-        "config": dict(profile, distribution=DISTRIBUTION, seed=SEED),
+        "config": dict(profile, distribution=distribution, seed=SEED),
         "machine": machine,
         "results": results,
     }
@@ -451,6 +599,39 @@ def check_regression(fresh: Dict[str, Any], committed_path: Path,
                             f"{REPLICA_QUERY_MAX_RATIO}x)"
                         )
             continue
+        if kind == "continuous":
+            where = f"continuous/{dim_key}"
+            # Absolute floors first: both sides of every ratio process
+            # identical outcomes in one run, so they are machine-portable.
+            q1000 = fresh_dim["q1000"]["speedup"]
+            if q1000 < CONTINUOUS_SPEEDUP_FLOOR:
+                failures.append(
+                    f"{where}: indexed dispatch at Q=1000 is only "
+                    f"{q1000}x the per-handle loop "
+                    f"(floor {CONTINUOUS_SPEEDUP_FLOOR})"
+                )
+            growth = fresh_dim["indexed_growth_q100_to_q10000"]
+            if growth > CONTINUOUS_GROWTH_MAX:
+                failures.append(
+                    f"{where}: indexed cost grew {growth}x from Q=100 "
+                    f"to Q=10000 (max {CONTINUOUS_GROWTH_MAX}: dispatch "
+                    f"must stay sublinear in Q)"
+                )
+            # Then the committed-ratio band.
+            for count in CONTINUOUS_QUERY_COUNTS:
+                q_key = f"q{count}"
+                for ratio_key in ("speedup", "batch_speedup"):
+                    base_ratio = base_dim.get(q_key, {}).get(ratio_key)
+                    if base_ratio is None:
+                        continue
+                    floor = base_ratio * (1 - REGRESSION_TOLERANCE)
+                    if fresh_dim[q_key][ratio_key] < floor:
+                        failures.append(
+                            f"{where}/{q_key}: {ratio_key} "
+                            f"{fresh_dim[q_key][ratio_key]} fell below "
+                            f"{floor:.2f} (committed {base_ratio})"
+                        )
+            continue
         if kind == "ingest":
             where = f"ingest/{dim_key}"
             # Absolute floors first: both ratios compare two variants
@@ -526,18 +707,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "committed snapshots; non-zero exit on "
                              "regression")
     parser.add_argument("--only", action="append", metavar="KIND",
-                        choices=("query", "ingest", "shard"),
+                        choices=("query", "ingest", "shard", "continuous"),
                         help="run only the given benchmark kind(s); "
-                             "repeatable (default: all three)")
+                             "repeatable (default: all four)")
     args = parser.parse_args(argv)
 
     profile_names = ["quick"] if args.quick else ["full", "quick"]
-    kinds = tuple(args.only) if args.only else ("query", "ingest", "shard")
+    kinds = (
+        tuple(args.only) if args.only
+        else ("query", "ingest", "shard", "continuous")
+    )
     args.out.mkdir(parents=True, exist_ok=True)
     failures: List[str] = []
     for kind, filename in (("query", "BENCH_query.json"),
                            ("ingest", "BENCH_ingest.json"),
-                           ("shard", "BENCH_shard.json")):
+                           ("shard", "BENCH_shard.json"),
+                           ("continuous", "BENCH_continuous.json")):
         if kind not in kinds:
             continue
         profiles = {name: run_profile(name, kind) for name in profile_names}
@@ -575,6 +760,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f" soa x{entry['soa_speedup']}"
                     f"{batch_part}"
                     f" kernels x{entry['kernel_speedup']}"
+                )
+    if "continuous" in kinds:
+        snapshot = json.loads(
+            (args.out / "BENCH_continuous.json").read_text()
+        )
+        for name, profile in snapshot["profiles"].items():
+            for dim_key, entry in profile["results"].items():
+                sweep = " ".join(
+                    f"q{count} x{entry[f'q{count}']['speedup']}"
+                    for count in CONTINUOUS_QUERY_COUNTS
+                    if f"q{count}" in entry
+                )
+                print(
+                    f"continuous/{name}/{dim_key}: {sweep} | indexed cost "
+                    f"x{entry['indexed_growth_q100_to_q10000']} across "
+                    f"Q x{entry['query_count_growth']}"
                 )
     if "shard" not in kinds:
         return 0

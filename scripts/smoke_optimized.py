@@ -142,6 +142,59 @@ def smoke_continuous(sanitize: str, batch_chunk=None) -> None:
     )
 
 
+def smoke_continuous_index(sanitize: str) -> None:
+    """Indexed dispatch vs the seed per-handle loop under ``-O``.
+
+    Two managers — ``query_index="on"`` (sanitized) and ``"off"`` —
+    consume identical outcomes from one engine, fed part batched and
+    part per-element, with a mixed distinct/duplicate window plan.
+    Every handle pair must agree on results and ``changes``, every
+    result must match a fresh reference query, and the group count
+    must equal the number of distinct windows registered.
+    """
+    from repro.core.query_index import mixed_query_plan
+
+    capacity = 60
+    points = points_stream(220, 2, seed=7)
+    engine = NofNSkyline(dim=2, capacity=capacity)
+    for p in points[:80]:
+        engine.append(p)
+    indexed = ContinuousQueryManager(
+        engine, sanitize=sanitize, query_index="on"
+    )
+    legacy = ContinuousQueryManager(engine, query_index="off")
+    plan = mixed_query_plan(14, capacity)
+    pairs = [(indexed.register(n), legacy.register(n)) for n in plan]
+    stats = indexed.query_index_stats()
+    check(
+        stats is not None and stats["groups"] == len(set(plan)),
+        "query index group count != distinct registered windows",
+    )
+    for start in range(80, 170, 9):  # batched, uneven chunks
+        batch = engine.append_many(points[start:start + 9])
+        indexed.process_batch(batch)
+        legacy.process_batch(batch)
+    for p in points[170:]:  # then per-element
+        outcome = engine.append(p)
+        indexed.process(outcome)
+        legacy.process(outcome)
+    for ih, lh in pairs:
+        check(
+            ih.result_kappas() == lh.result_kappas(),
+            f"indexed/legacy result mismatch at n={ih.n}",
+        )
+        check(
+            ih.changes == lh.changes,
+            f"indexed/legacy changes mismatch at n={ih.n}",
+        )
+        check(
+            ih.result_kappas() == [e.kappa for e in engine.query(ih.n)],
+            f"indexed result != fresh query at n={ih.n}",
+        )
+    indexed.check_invariants()
+    legacy.check_invariants()
+
+
 def smoke_sharded(
     sanitize: str, shards: int, backends: tuple, batch_chunk=None
 ) -> None:
@@ -243,6 +296,15 @@ def main() -> int:
              "under whatever -O / sanitize mode is active",
     )
     parser.add_argument(
+        "--continuous", action="store_true",
+        help="additionally smoke the continuous-query dispatch index: "
+             "a mixed distinct/duplicate window plan run through the "
+             "indexed and the per-handle dispatch paths on identical "
+             "outcomes, batched and per-element, with parity and "
+             "invariant checks under whatever -O / sanitize mode is "
+             "active",
+    )
+    parser.add_argument(
         "--shards", type=int, default=0, metavar="S",
         help="additionally smoke the sharded routers with S shards "
              "(0 = skip, the default)",
@@ -273,6 +335,8 @@ def main() -> int:
         smoke_skyband(args.sanitize, chunk)
         smoke_continuous(args.sanitize, chunk)
     smoke_corruption_check_survives_dash_o(args.sanitize)
+    if args.continuous:
+        smoke_continuous_index(args.sanitize)
     if args.shards:
         backends = (
             ("serial", "process") if args.shard_backend == "both"
@@ -288,9 +352,10 @@ def main() -> int:
         if args.shards else ""
     )
     batch = ", batch-chunks={1, 7}" if args.batch else ""
+    continuous = ", continuous-index" if args.continuous else ""
     print(f"smoke_optimized: all engines OK "
-          f"[{mode}, sanitize={args.sanitize}{sharded}{batch}, "
-          f"rtree-layout={args.rtree_layout}]")
+          f"[{mode}, sanitize={args.sanitize}{sharded}{batch}"
+          f"{continuous}, rtree-layout={args.rtree_layout}]")
     return 0
 
 

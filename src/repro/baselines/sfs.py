@@ -7,9 +7,13 @@ single scan then suffices: each point is compared against the skyline
 collected so far, and accepted points are never evicted.
 
 The default score is the coordinate sum, which is monotone for strict
-Pareto dominance (dominating a point implies a strictly smaller sum).
-Ties in the score are harmless: tied points cannot dominate each other
-strictly unless equal, and equal points never dominate strictly.
+Pareto dominance (dominating a point implies a strictly smaller sum) —
+in exact arithmetic.  Float rounding can absorb a tiny coordinate gap
+and hand a dominator the *same* rounded score as its victim (e.g.
+``1.0 + 1e-38 == 1.0 + 0.0``), so score ties are broken by the
+coordinate tuple: componentwise ``<=`` with one strict ``<`` implies
+lexicographically strictly smaller, which restores the sort invariant
+that no point is dominated by a later one.
 """
 
 from __future__ import annotations
@@ -53,7 +57,13 @@ def sfs_skyline(
     if stats is None:
         stats = SFSStats()
 
-    order = sorted(range(len(points)), key=lambda i: (score(points[i]), i))
+    # Score ties break on the coordinate tuple: rounded scores can tie
+    # across a real dominance gap, and the scan never evicts, so the
+    # dominator must sort first.
+    order = sorted(
+        range(len(points)),
+        key=lambda i: (score(points[i]), tuple(points[i]), i),
+    )
     skyline: List[int] = []
     for idx in order:
         candidate = points[idx]

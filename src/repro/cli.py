@@ -40,7 +40,9 @@ from repro.baselines import (
 from repro.accel.rtree_kernels import KERNEL_POLICIES
 from repro.structures.rtree_soa import RTREE_LAYOUTS
 from repro.bench.reporting import format_percent, format_rate
+from repro.core.continuous import ContinuousQueryManager
 from repro.core.nofn import NofNSkyline
+from repro.core.query_index import INDEX_MODES, mixed_query_plan
 from repro.core.skyband import KSkybandEngine
 from repro.parallel.sharded import (
     BACKENDS,
@@ -130,6 +132,20 @@ def build_parser() -> argparse.ArgumentParser:
                           "searches), pointer is the classic node tree; "
                           "auto picks soa when NumPy is importable "
                           "(default auto)")
+    win.add_argument("--continuous-queries", type=int, default=0, metavar="Q",
+                     help="register Q continuous n-of-N queries (a "
+                          "deterministic mixed distinct/duplicate window "
+                          "plan) and maintain them incrementally while "
+                          "feeding; prints a summary line at the end; "
+                          "requires --shards 1 and --band 1 (default 0)")
+    win.add_argument("--query-index", default="auto",
+                     choices=list(INDEX_MODES),
+                     help="continuous-query dispatch: auto/on dedupe "
+                          "handles into per-window groups on a sorted "
+                          "stab-point axis and route each change to the "
+                          "affected contiguous range by binary search; "
+                          "off keeps the per-handle loop (default auto; "
+                          "meaningful only with --continuous-queries)")
     win.add_argument("--shards", type=int, default=1, metavar="S",
                      help="shard the stream round-robin across S engines "
                           "and answer queries by fan-out/merge (default 1 "
@@ -209,11 +225,31 @@ def _cmd_window(args: argparse.Namespace, out: TextIO) -> int:
 
     if args.shards < 1:
         raise ValueError("--shards must be >= 1")
+    if args.continuous_queries < 0:
+        raise ValueError("--continuous-queries must be >= 0")
+    if args.continuous_queries and (args.shards > 1 or args.band > 1):
+        raise ValueError(
+            "--continuous-queries requires --shards 1 and --band 1"
+        )
 
     points = _read_points(args.input)
     if not points:
         return 0
     engine = _build_window_engine(args, dim=len(points[0]))
+    manager: Optional[ContinuousQueryManager] = None
+    if args.continuous_queries:
+        if not isinstance(engine, NofNSkyline):
+            raise ValueError(
+                "--continuous-queries requires the plain nofn engine"
+            )
+        manager = ContinuousQueryManager(
+            engine, sanitize=args.sanitize, query_index=args.query_index
+        )
+        for window in mixed_query_plan(args.continuous_queries, args.capacity):
+            manager.register(window)
+    feeder: Union[WindowEngine, ContinuousQueryManager] = (
+        manager if manager is not None else engine
+    )
     try:
         if args.batch:
             # Batches are clipped at --every boundaries so the reports
@@ -224,16 +260,18 @@ def _cmd_window(args: argparse.Namespace, out: TextIO) -> int:
                 if args.every:
                     next_report = (fed // args.every + 1) * args.every
                     upper = min(upper, next_report)
-                engine.append_many(points[fed:upper])
+                feeder.append_many(points[fed:upper])
                 fed = upper
                 if args.every and fed % args.every == 0:
                     _print_result(out, engine, n, label=f"after {fed}")
         else:
             for i, point in enumerate(points):
-                engine.append(point)
+                feeder.append(point)
                 if args.every and (i + 1) % args.every == 0:
                     _print_result(out, engine, n, label=f"after {i + 1}")
         _print_result(out, engine, n, label="final")
+        if manager is not None:
+            _print_continuous(out, manager)
         if args.batch:
             _print_batch_stats(out, engine)
     finally:
@@ -305,6 +343,24 @@ def _print_result(
     result = engine.query(n)
     kappas = ",".join(str(e.kappa) for e in result)
     print(f"{label}\tn={n}\tsize={len(result)}\tkappas={kappas}", file=out)
+
+
+def _print_continuous(out: TextIO, manager: ContinuousQueryManager) -> None:
+    """One summary line for the maintained continuous-query set, with a
+    live cross-check of the lowest-id handle against a fresh stab."""
+    stats = manager.query_index_stats()
+    groups = (
+        stats["groups"] if stats is not None else len({h.n for h in manager})
+    )
+    probe = min(manager, key=lambda h: h.query_id)
+    live = [e.kappa for e in manager.engine.query(probe.n)]
+    match = "yes" if probe.result_kappas() == live else "NO"
+    print(
+        f"continuous\tqueries={len(manager)}\tgroups={groups}"
+        f"\tindex={manager.query_index}\tprobe_n={probe.n}"
+        f"\tprobe_match={match}",
+        file=out,
+    )
 
 
 def _print_batch_stats(out: TextIO, engine: WindowEngine) -> None:

@@ -22,7 +22,14 @@ Supported engines:
   the records through the router's round-robin ingestion, re-deriving
   every per-shard graph annotation.  Same-shard-count restores are
   state-identical; different counts answer every query identically
-  (the re-shard-on-load path of the parallel subsystem).
+  (the re-shard-on-load path of the parallel subsystem);
+* :class:`~repro.core.continuous.ContinuousQueryManager` — the wrapped
+  :class:`~repro.core.nofn.NofNSkyline` snapshot plus the handle
+  registry (query id, window size and ``changes`` counter per handle).
+  Only the registry travels: restore re-registers every handle against
+  the restored engine, so the per-``n`` query-index groups, trigger
+  heaps and dominance-forest mirror are all re-derived — groups restore
+  from the handle registry, not from serialised member sets.
 
 Round-trip guarantee: ``restore(snapshot(engine))`` answers every query
 identically to the original (tested property-based).  Payloads are
@@ -35,6 +42,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional, Union
 
+from repro.core.continuous import ContinuousQueryHandle, ContinuousQueryManager
 from repro.core.n1n2 import N1N2Skyline, _WindowRecord
 from repro.core.nofn import NofNSkyline, _Record
 from repro.core.element import StreamElement
@@ -45,10 +53,14 @@ from repro.sanitize.sanitizer import SanitizeArg
 
 FORMAT_VERSION = 1
 
-#: Everything :func:`snapshot` accepts and :func:`restore` can return.
+#: Engine types :func:`snapshot` accepts and :func:`restore` can return.
 PersistableEngine = Union[
     NofNSkyline, N1N2Skyline, ShardedNofNSkyline, ShardedKSkyband
 ]
+
+#: Everything :func:`snapshot` accepts and :func:`restore` can return —
+#: the engines plus the continuous-query service wrapper.
+PersistableState = Union[PersistableEngine, ContinuousQueryManager]
 
 
 class SnapshotError(ReproError):
@@ -60,8 +72,10 @@ class SnapshotError(ReproError):
 # ----------------------------------------------------------------------
 
 
-def snapshot(engine: PersistableEngine) -> Dict[str, Any]:
+def snapshot(engine: PersistableState) -> Dict[str, Any]:
     """Serialise ``engine`` to a plain dict."""
+    if isinstance(engine, ContinuousQueryManager):
+        return _snapshot_continuous(engine)
     if isinstance(engine, (ShardedNofNSkyline, ShardedKSkyband)):
         return _snapshot_sharded(engine)
     if isinstance(engine, N1N2Skyline):
@@ -216,12 +230,41 @@ def _snapshot_n1n2(engine: N1N2Skyline) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 
 
+def _snapshot_continuous(manager: ContinuousQueryManager) -> Dict[str, Any]:
+    """Dump a continuous-query manager: the wrapped engine plus the
+    handle registry.
+
+    Member sets, trigger heaps and the query index are deliberately not
+    serialised — they are functions of the engine state and the
+    registry, and restore re-derives them by re-registering each handle
+    (one stabbing query per distinct ``n``).
+    """
+    engine = manager.engine
+    if type(engine) is not NofNSkyline:
+        raise SnapshotError(
+            "continuous snapshots support plain NofNSkyline engines, "
+            f"got {type(engine).__name__}"
+        )
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "continuous",
+        "engine": _snapshot_nofn(engine),
+        "query_index": manager.query_index,
+        "sanitize": manager.sanitize_mode,
+        "next_id": manager._next_id,
+        "queries": [
+            {"id": h.query_id, "n": h.n, "changes": h.changes}
+            for h in manager
+        ],
+    }
+
+
 def restore(
     snap: Dict[str, Any],
     sanitize: SanitizeArg = None,
     shards: Optional[int] = None,
     backend: Optional[str] = None,
-) -> PersistableEngine:
+) -> PersistableState:
     """Rebuild a live engine from a :func:`snapshot` dict.
 
     ``sanitize`` overrides the sanitize mode recorded in the snapshot
@@ -267,7 +310,41 @@ def restore(
         return _restore_n1n2(snap, sanitize)
     if kind in ("sharded-nofn", "sharded-skyband"):
         return _restore_sharded(snap, sanitize, shards, backend)
+    if kind == "continuous":
+        return _restore_continuous(snap, sanitize)
     raise SnapshotError(f"unknown snapshot kind: {kind!r}")
+
+
+def _restore_continuous(
+    snap: Dict[str, Any], sanitize: SanitizeArg
+) -> ContinuousQueryManager:
+    """Rebuild a manager by restoring its engine and re-registering the
+    handle registry (groups restore from the registry, not from dumped
+    member sets).  ``sanitize`` applies to the manager; the engine keeps
+    its own recorded mode."""
+    engine = restore(snap["engine"])
+    if not isinstance(engine, NofNSkyline):
+        raise SnapshotError("continuous snapshot must embed an nofn engine")
+    manager = ContinuousQueryManager(
+        engine,
+        sanitize=sanitize,
+        query_index=str(snap.get("query_index", "auto")),
+    )
+    handles: Dict[int, ContinuousQueryHandle] = {}
+    for raw in snap["queries"]:
+        handle = manager.register(int(raw["n"]))
+        query_id = int(raw["id"])
+        _require(query_id not in handles, "duplicate continuous query id")
+        handle.query_id = query_id
+        # Re-anchor the handle's changes counter: re-registration reset
+        # it to zero, the original had accumulated `changes`.
+        handle._changes_base -= int(raw.get("changes", 0))
+        handles[query_id] = handle
+    manager._queries = handles
+    manager._next_id = int(
+        snap.get("next_id", max(handles, default=0) + 1)
+    )
+    return manager
 
 
 def _restore_sharded(
@@ -486,7 +563,7 @@ def _require(condition: bool, message: str) -> None:
 # ----------------------------------------------------------------------
 
 
-def dumps(engine: PersistableEngine) -> str:
+def dumps(engine: PersistableState) -> str:
     """Snapshot ``engine`` as a JSON string (payloads must be
     JSON-serialisable)."""
     return json.dumps(snapshot(engine))
@@ -497,7 +574,7 @@ def loads(
     sanitize: SanitizeArg = None,
     shards: Optional[int] = None,
     backend: Optional[str] = None,
-) -> PersistableEngine:
+) -> PersistableState:
     """Rebuild an engine from :func:`dumps` output.
 
     Overrides are forwarded to :func:`restore`: ``shards`` / ``backend``

@@ -31,6 +31,12 @@ The invariant catalogue (the ``invariant`` field of the report):
 ``graph-mirror``    the manager's dominance-forest mirror matches the
                     engine's graph (checked only when in sync)
 ``result-sync``     a continuous result equals the stabbing answer
+``continuous-index`` the query-index axis is sorted and aligned, group
+                    refcounts match the handle registry, no trigger
+                    entry is scheduled later than its group's real due
+                    time, and every group's member set equals a
+                    brute-force per-window replay over the manager's
+                    dominance-forest mirror (valid mid-batch)
 ``stab-cache``      the versioned query cache's answer at each tested
                     stab point equals a fresh stab of the live interval
                     tree (checked whenever a cache is attached)
@@ -61,7 +67,7 @@ here), so at module level this file may only import *leaf* modules:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Sequence
 
 from repro.core.dominance import dominates, weakly_dominates
 from repro.core.element import StreamElement
@@ -749,6 +755,9 @@ def verify_continuous(manager: "ContinuousQueryManager") -> None:
                 engine=name,
             )
 
+    if manager._index is not None:
+        _verify_query_index(manager, name)
+
     m = engine.seen_so_far
     mirror = manager._graph_elements
     in_sync = m == 0 or (bool(mirror) and max(mirror) == m)
@@ -798,6 +807,122 @@ def verify_continuous(manager: "ContinuousQueryManager") -> None:
                 f"query {handle.query_id} (n={handle.n}) holds kappas "
                 f"{sorted(handle._members)}, the stabbing query gives "
                 f"{expected}",
+                engine=name,
+            )
+
+
+def _verify_query_index(manager: "ContinuousQueryManager", name: str) -> None:
+    """The ``continuous-index`` invariant (``query_index="on"`` only).
+
+    Structural checks first (sorted axis, aligned group registry,
+    refcounts, expiry entries never scheduled late), then a brute-force
+    replay: each group's member set must equal Proposition 1 evaluated
+    directly over the manager's dominance-forest mirror.  The mirror —
+    not the live engine — is the oracle, so the check is valid
+    mid-batch, when the engine has already run ahead of the arrival
+    being replayed.
+    """
+    index = manager._index
+    if index is None:  # caller gates on this; kept for ``python -O``
+        return
+    axis = index._axis
+    order = index._order
+    groups = index._groups
+
+    if any(axis[i] >= axis[i + 1] for i in range(len(axis) - 1)):
+        raise corruption(
+            "engine",
+            "continuous-index",
+            f"query-index axis is not strictly ascending: {axis}",
+            engine=name,
+        )
+    if len(axis) != len(order) or [g.n for g in order] != axis:
+        raise corruption(
+            "engine",
+            "continuous-index",
+            "query-index axis and group order are misaligned",
+            engine=name,
+        )
+    if sorted(groups) != axis:
+        raise corruption(
+            "engine",
+            "continuous-index",
+            "query-index group registry disagrees with the axis",
+            engine=name,
+        )
+
+    counts: Dict[int, int] = {}
+    for handle in manager:
+        counts[handle.n] = counts.get(handle.n, 0) + 1
+        if groups.get(handle.n) is not handle._group:
+            raise corruption(
+                "engine",
+                "continuous-index",
+                f"query {handle.query_id} (n={handle.n}) is not viewing "
+                f"its registered group",
+                engine=name,
+            )
+    if counts != {g.n: g.refs for g in order}:
+        raise corruption(
+            "engine",
+            "continuous-index",
+            f"group refcounts {dict((g.n, g.refs) for g in order)} "
+            f"disagree with the handle registry {counts}",
+            engine=name,
+        )
+
+    for n in index._expiry.keys():
+        if n not in groups:
+            raise corruption(
+                "engine",
+                "continuous-index",
+                f"expiry entry for unregistered window n={n}",
+                engine=name,
+            )
+    for group in order:
+        if not group._heap:
+            continue
+        top_kappa, _ = group._heap.peek()
+        real_due = top_kappa + group.n
+        if group.n not in index._expiry:
+            raise corruption(
+                "engine",
+                "continuous-index",
+                f"group n={group.n} has a trigger top ({top_kappa}) but "
+                f"no expiry entry — its window expiries would never fire",
+                engine=name,
+            )
+        scheduled = index._expiry.priority_of(group.n)
+        if not isinstance(scheduled, int) or scheduled > real_due:
+            raise corruption(
+                "engine",
+                "continuous-index",
+                f"group n={group.n} is scheduled at {scheduled!r}, later "
+                f"than its real due time {real_due} — a stale-late entry "
+                f"would miss expiries",
+                engine=name,
+            )
+
+    # Brute-force replay of Proposition 1 over the mirror: element e
+    # (parent p) is in window n at stream length M iff it is among the
+    # last n arrivals and its critical dominator is not.
+    mirror = manager._graph_elements
+    parents = manager._graph_parent
+    m = max(mirror) if mirror else 0
+    for group in order:
+        window_start = m - group.n + 1
+        expected = sorted(
+            kappa
+            for kappa in mirror
+            if kappa >= window_start
+            and (not parents.get(kappa, 0) or parents[kappa] < window_start)
+        )
+        if group.result_kappas() != expected:
+            raise corruption(
+                "engine",
+                "continuous-index",
+                f"group n={group.n} holds kappas {group.result_kappas()}, "
+                f"the mirror replay gives {expected}",
                 engine=name,
             )
 

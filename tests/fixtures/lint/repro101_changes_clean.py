@@ -1,0 +1,17 @@
+"""REPRO101 clean variant (``changes`` counter): the bump covers every
+path through each mutation, ``del`` statements included."""
+
+
+class DemoGroup:
+    def __init__(self):
+        self._members = {}
+        self.changes = 0
+
+    def add(self, kappa, element):
+        self.changes += 1
+        self._members[kappa] = element
+        return element
+
+    def remove(self, kappa):
+        self.changes += 1
+        del self._members[kappa]

@@ -1,0 +1,22 @@
+"""REPRO101 seeded violations (``changes`` counter): a query-group
+style class whose memoised views key on ``changes`` mutates a tracked
+container without bumping it — via a skipping branch and via a bare
+``del`` statement."""
+
+
+class DemoGroup:
+    def __init__(self):
+        self._members = {}
+        self.changes = 0
+
+    def add(self, kappa, element, quiet):
+        self._members[kappa] = element
+        if quiet:
+            # Skipping the bump leaves the memoised sorted view stale.
+            return None
+        self.changes += 1
+        return element
+
+    def drop_fast(self, kappa):
+        # ``del`` mutates the container too; no path ever bumps.
+        del self._members[kappa]

@@ -1,0 +1,18 @@
+"""REPRO101 waived variant (``changes`` counter): the seeded
+violations, explicitly suppressed."""
+
+
+class DemoGroup:
+    def __init__(self):
+        self._members = {}
+        self.changes = 0
+
+    def add(self, kappa, element, quiet):
+        self._members[kappa] = element  # lint: skip=REPRO101
+        if quiet:
+            return None
+        self.changes += 1
+        return element
+
+    def drop_fast(self, kappa):
+        del self._members[kappa]  # lint: skip=REPRO101

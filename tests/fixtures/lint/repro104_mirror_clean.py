@@ -1,0 +1,17 @@
+"""REPRO104 clean variant (axis mirror): every container mutation —
+inserts and ``del`` alike — drops the kernel mirror before returning."""
+
+
+class DemoAxis:
+    def __init__(self):
+        self._axis = []
+        self._axis_kernel = None
+
+    def insert(self, value):
+        self._axis.append(value)
+        self._axis_kernel = None
+        return len(self._axis)
+
+    def drop(self, slot):
+        del self._axis[slot]
+        self._axis_kernel = None

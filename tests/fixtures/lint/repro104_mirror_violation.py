@@ -1,0 +1,15 @@
+"""REPRO104 seeded violation (axis mirror): a class keeping a sorted
+container beside its lazily rebuilt ``*_kernel`` flat mirror mutates
+the container without dropping the mirror."""
+
+
+class DemoAxis:
+    def __init__(self):
+        self._axis = []
+        self._axis_kernel = None
+
+    def insert_fast(self, value):
+        # The kernel mirror still reflects the pre-insert axis, so
+        # vectorised routing will stab stale positions.
+        self._axis.append(value)
+        return len(self._axis)

@@ -1,0 +1,12 @@
+"""REPRO104 waived variant (axis mirror): the seeded violation,
+explicitly suppressed."""
+
+
+class DemoAxis:
+    def __init__(self):
+        self._axis = []
+        self._axis_kernel = None
+
+    def insert_fast(self, value):
+        self._axis.append(value)  # lint: skip=REPRO104
+        return len(self._axis)

@@ -126,6 +126,13 @@ class TestSFSSpecifics:
         points = [(9.0, 9.0), (1.0, 1.0)]
         assert sfs_skyline(points) == [1]
 
+    def test_rounded_score_tie_across_a_dominance_gap(self):
+        # 1.0 + 1e-38 rounds to 1.0, so both points score equally even
+        # though the second strictly dominates the first; the coordinate
+        # tiebreak must still sort the dominator ahead of its victim.
+        points = [(1.0, 1.1754943508222875e-38), (1.0, 0.0)]
+        assert sfs_skyline(points) == naive_skyline(points) == [1]
+
 
 class TestKLPSpecifics:
     def test_large_2d_instance_uses_sweep(self):

@@ -58,6 +58,40 @@ class TestRepro101VersionBumps:
         assert result.unused_waivers == []
 
 
+class TestRepro101ChangesCounter:
+    """The query-group convention: ``changes`` is a version counter
+    too, and ``del``-statement mutations are visible to the rule."""
+
+    def test_violation(self):
+        assert hits("repro101_changes_violation.py") == [
+            ("REPRO101", 13),
+            ("REPRO101", 22),
+        ]
+
+    def test_clean(self):
+        assert hits("repro101_changes_clean.py") == []
+
+    def test_waived(self):
+        result = run_fixture("repro101_changes_waived.py")
+        assert result.findings == []
+        assert result.unused_waivers == []
+
+    def test_plain_changes_attribute_is_not_a_counter(self):
+        # `changes` only counts when __init__ binds it to an integer
+        # literal; a data attribute of the same name stays untracked.
+        src = (
+            "class Carrier:\n"
+            "    def __init__(self, changes):\n"
+            "        self._items = []\n"
+            "        self.changes = list(changes)\n"
+            "\n"
+            "    def push(self, item):\n"
+            "        self._items.append(item)\n"
+        )
+        result = analyze_sources({"carrier.py": src})
+        assert result.findings == []
+
+
 class TestRepro102Seqlock:
     def test_violation(self):
         assert hits("repro102_violation.py") == [
@@ -101,6 +135,40 @@ class TestRepro104KernelInvalidation:
         result = run_fixture("repro104_waived.py")
         assert result.findings == []
         assert result.unused_waivers == []
+
+
+class TestRepro104MirrorKernels:
+    """The ``X`` / ``X_kernel`` convention: a tracked container with a
+    lazily rebuilt flat mirror must drop the mirror on every mutation
+    path (the query index's sorted axis is the production instance)."""
+
+    def test_violation(self):
+        assert hits("repro104_mirror_violation.py") == [
+            ("REPRO104", 14),
+        ]
+
+    def test_clean(self):
+        assert hits("repro104_mirror_clean.py") == []
+
+    def test_waived(self):
+        result = run_fixture("repro104_mirror_waived.py")
+        assert result.findings == []
+        assert result.unused_waivers == []
+
+    def test_kernel_without_matching_container_is_ignored(self):
+        # A cache attr whose stem names no tracked container (plain
+        # `kernel`, or an unrelated suffix) never arms the mirror rule.
+        src = (
+            "class Free:\n"
+            "    def __init__(self):\n"
+            "        self._rows = []\n"
+            "        self._cols_kernel = None\n"
+            "\n"
+            "    def push(self, row):\n"
+            "        self._rows.append(row)\n"
+        )
+        result = analyze_sources({"free.py": src})
+        assert result.findings == []
 
     # A pooled class's bulk maintenance methods satisfy the rule by
     # *name* (POOLED_MAINTENANCE_METHODS): calling them after a raw

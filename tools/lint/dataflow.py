@@ -6,10 +6,12 @@ with per-function path queries over :mod:`tools.lint.cfg`:
 =========  =============================================================
 Code       Discipline enforced
 =========  =============================================================
-REPRO101   Every method of a ``_version``-bearing class that mutates a
-           tracked container must bump ``_version`` on *every* CFG path
-           through the mutation (exception edges included) — otherwise
-           the versioned ``StabCache`` serves stale answers.
+REPRO101   Every method of a version-bearing class (``_version`` or a
+           ``changes`` counter) that mutates a tracked container must
+           bump the counter on *every* CFG path through the mutation
+           (exception edges included) — otherwise versioned caches
+           (``StabCache``, memoised ``QueryGroup`` views) serve stale
+           answers.
 REPRO102   Seqlock protocol: inside a flip function, every write to the
            control buffer must sit between the odd and even seq words;
            a reader that copies bytes out of a data segment must
@@ -25,7 +27,9 @@ REPRO104   A mutation of an R-tree node's ``children`` (pointer layout)
            or a raw write into the pooled ``_points``/``_kappas``
            arrays (SoA layout) must be followed on every normal path by
            a kernel-cache invalidation / block-summary maintenance
-           touch.
+           touch.  Likewise a class keeping an ``X`` container beside
+           an ``X_kernel`` flat mirror (the query index's sorted axis)
+           must drop the mirror whenever it mutates ``X``.
 REPRO105   Snapshot round-trip parity: keys a producer writes that no
            consumer ever reads rot silently (persist-but-never-restore);
            keys a consumer subscripts that no producer writes crash
@@ -86,6 +90,10 @@ def _assign_targets(frag: ast.AST) -> List[ast.expr]:
             targets.extend(node.targets)
         elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
             targets.append(node.target)
+        elif isinstance(node, ast.Delete):
+            # ``del self._axis[slot]`` mutates the container just as an
+            # assignment does; rules that key on writes must see it.
+            targets.extend(node.targets)
     return targets
 
 
@@ -155,6 +163,8 @@ def _check_version_bumps(module: ModuleModel, cls: ClassModel,
                          findings: List[Finding]) -> None:
     if not cls.has_version or not cls.tracked_containers:
         return
+    version_attr = cls.version_attr or "_version"
+    version_path = f"self.{version_attr}"
     tracked_paths = {
         f"self.{attr}": attr for attr in cls.tracked_containers
     }
@@ -167,7 +177,7 @@ def _check_version_bumps(module: ModuleModel, cls: ClassModel,
         def bumps_version(node: CFGNode,
                           _aliases: Dict[str, str] = aliases) -> bool:
             return node.frag is not None and _writes_path(
-                node.frag, "self._version", _aliases
+                node.frag, version_path, _aliases
             )
 
         for node, frag in _frags(cfg):
@@ -181,8 +191,8 @@ def _check_version_bumps(module: ModuleModel, cls: ClassModel,
                     module, frag, "REPRO101",
                     f"{cls.name}.{name} mutates tracked container "
                     f"self.{attr} on a path that never bumps "
-                    f"self._version — versioned caches will serve stale "
-                    f"answers",
+                    f"self.{version_attr} — versioned caches will serve "
+                    f"stale answers",
                     f"{cls.name}.{name}",
                 ))
 
@@ -595,6 +605,65 @@ def _check_pointer_kernels(module: ModuleModel, model: Model,
                 ))
 
 
+def _mirror_pairs(cls: ClassModel) -> Dict[str, str]:
+    """``{container_attr: kernel_attr}`` for every ``X`` / ``X_kernel``
+    pair the class keeps — a tracked container with a lazily rebuilt
+    flat mirror (``self._axis`` / ``self._axis_kernel`` style)."""
+    pairs: Dict[str, str] = {}
+    for kernel_attr in cls.cache_attrs:
+        if not kernel_attr.endswith("_kernel"):
+            continue
+        stem = kernel_attr[: -len("_kernel")]
+        if stem in cls.tracked_containers:
+            pairs[stem] = kernel_attr
+    return pairs
+
+
+def _check_mirror_kernels(module: ModuleModel,
+                          findings: List[Finding]) -> None:
+    """A mutation of a mirrored container must drop/rewrite its kernel
+    on every normal path, or searches run against a stale mirror."""
+    for cls in module.classes.values():
+        pairs = _mirror_pairs(cls)
+        if not pairs:
+            continue
+        for name, fn in cls.methods.items():
+            if name == "__init__":
+                continue
+            aliases = local_aliases(fn)
+            cfg = build_cfg(fn)
+            scope = f"{cls.name}.{name}"
+            for attr, kernel_attr in pairs.items():
+                tracked_paths = {f"self.{attr}": attr}
+                kernel_path = f"self.{kernel_attr}"
+
+                def invalidates(node: CFGNode,
+                                _aliases: Dict[str, str] = aliases,
+                                _path: str = kernel_path) -> bool:
+                    return node.frag is not None and _writes_path(
+                        node.frag, _path, _aliases
+                    )
+
+                for node, frag in _frags(cfg):
+                    if _container_mutation(
+                        frag, tracked_paths, aliases
+                    ) is None:
+                        continue
+                    if invalidates(node):
+                        continue
+                    if not cfg.must_pass_through(
+                        node.index, invalidates, count_exceptional=False
+                    ):
+                        findings.append(_finding(
+                            module, frag, "REPRO104",
+                            f"{scope}: mutates self.{attr} on a path "
+                            f"that never invalidates its "
+                            f"self.{kernel_attr} mirror — vectorised "
+                            f"routing will search a stale axis",
+                            scope,
+                        ))
+
+
 def _pooled_write(frag: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
     for target in _assign_targets(frag):
         if not isinstance(target, ast.Subscript):
@@ -725,5 +794,6 @@ def check_module_dataflow(module: ModuleModel, model: Model) -> List[Finding]:
     _check_seqlock(module, findings)
     _check_shm_lifecycle(module, findings)
     _check_pointer_kernels(module, model, findings)
+    _check_mirror_kernels(module, findings)
     _check_pooled_summaries(module, findings)
     return findings

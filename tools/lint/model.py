@@ -3,7 +3,8 @@
 One pass over every linted file classifies the code the REPRO101-105
 rules care about:
 
-* which classes carry a ``_version`` counter and which of their
+* which classes carry a version counter (``_version``, or the
+  continuous-query ``changes`` convention) and which of their
   attributes are *tracked containers* (REPRO101);
 * which modules speak the seqlock protocol — the ``struct.Struct``
   constants whose name contains ``SEQ``, the control-buffer roots they
@@ -30,11 +31,21 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Union
 __all__ = [
     "ClassModel", "FunctionInfo", "Model", "ModuleModel", "ProducerInfo",
     "ConsumerInfo", "MUTATOR_NAMES", "POOLED_MAINTENANCE_METHODS",
-    "POOLED_SUMMARY_ATTRS", "build_model",
+    "POOLED_SUMMARY_ATTRS", "VERSION_COUNTER_ATTRS", "build_model",
     "expr_path", "local_aliases", "iter_functions",
 ]
 
 FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Attributes that act as a class's change/version counter (REPRO101).
+#: ``_version`` is the StabCache convention; ``changes`` is the
+#: continuous-query convention — a :class:`QueryGroup`'s memoised
+#: sorted views are invalidated through its cumulative ``changes``
+#: counter exactly the way versioned caches key on ``_version``, so a
+#: container mutation that skips the bump serves the same stale answer.
+#: ``changes`` only counts when ``__init__`` assigns it an integer
+#: literal (plain data attributes named ``changes`` stay untracked).
+VERSION_COUNTER_ATTRS: FrozenSet[str] = frozenset({"_version", "changes"})
 
 #: Method names on a tracked container that mutate it (REPRO101).
 MUTATOR_NAMES: FrozenSet[str] = frozenset({
@@ -200,17 +211,19 @@ class ClassModel:
     """What the rules need to know about one class."""
 
     __slots__ = (
-        "name", "path", "lineno", "has_version", "tracked_containers",
-        "cache_attrs", "is_pooled", "methods", "has_close",
-        "invalidating_methods", "maintenance_methods",
+        "name", "path", "lineno", "has_version", "version_attr",
+        "tracked_containers", "cache_attrs", "is_pooled", "methods",
+        "has_close", "invalidating_methods", "maintenance_methods",
     )
 
     def __init__(self, name: str, path: str, lineno: int) -> None:
         self.name = name
         self.path = path
         self.lineno = lineno
-        #: class assigns ``self._version = <const>`` in ``__init__``
+        #: class assigns a version counter in ``__init__``
         self.has_version = False
+        #: which counter it is (``_version`` wins when both appear)
+        self.version_attr: Optional[str] = None
         #: attrs holding mutable containers built in ``__init__``
         self.tracked_containers: Set[str] = set()
         #: per-node cache attrs (``self.kernel = None`` style)
@@ -323,8 +336,12 @@ def _init_self_assigns(init: FunctionNode) -> Iterator[Tuple[str, ast.expr]]:
 
 def _scan_init(model: ClassModel, init: FunctionNode) -> None:
     for attr, value in _init_self_assigns(init):
-        if attr == "_version":
+        if attr in VERSION_COUNTER_ATTRS and isinstance(
+            value, ast.Constant
+        ) and isinstance(value.value, int):
             model.has_version = True
+            if model.version_attr is None or attr == "_version":
+                model.version_attr = attr
             continue
         if (attr == "kernel" or attr.endswith("_kernel")) and isinstance(
             value, ast.Constant
